@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 2: "Execution times for the two memory models as
+ * the number of cores is increased, normalized to a single caching
+ * core" — the paper's headline comparison. For every application it
+ * prints, per core count and model, the normalized execution time
+ * broken into Useful / Sync / Load / Store.
+ *
+ * Expected shapes (Section 5.1): the seven compute-bound apps are
+ * nearly identical across models; 179.art, FIR, MergeSort show CC
+ * load stalls that STR double-buffering removes; BitonicSort STR
+ * loses at 16 cores; H.264 and MergeSort grow Sync components.
+ */
+
+#include <cstdio>
+
+#include "cmpmem.hh"
+
+using namespace cmpmem;
+
+int
+main()
+{
+    std::printf("Figure 2: normalized execution time breakdown "
+                "(800 MHz, no prefetching)\n\n");
+
+    for (const auto &name : workloadNames()) {
+        RunResult base =
+            runWorkload(name, makeConfig(1, MemModel::CC),
+                        benchParams());
+        std::printf("%s (baseline 1-core CC: %.3f ms)%s\n",
+                    name.c_str(), base.stats.execSeconds() * 1e3,
+                    base.verified ? "" : " [VERIFY FAILED]");
+
+        TextTable table({"CPUs", "model", "total", "useful", "sync",
+                         "load", "store", "verified"});
+        for (int cores : {2, 4, 8, 16}) {
+            for (MemModel m : {MemModel::CC, MemModel::STR}) {
+                RunResult r = runWorkload(name, makeConfig(cores, m),
+                                          benchParams());
+                NormBreakdown b = normalizedBreakdown(
+                    r.stats, base.stats.execTicks);
+                table.addRow({fmt("%d", cores), to_string(m),
+                              fmtF(b.total(), 3), fmtF(b.useful, 3),
+                              fmtF(b.sync, 3), fmtF(b.load, 3),
+                              fmtF(b.store, 3),
+                              r.verified ? "yes" : "NO"});
+            }
+        }
+        std::printf("%s\n", table.format().c_str());
+    }
+    return 0;
+}

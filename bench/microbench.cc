@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates
+ * themselves: event-queue throughput, cache-array lookups, resource
+ * interval scheduling, and end-to-end simulated-instruction rate.
+ * These guard the simulator's host performance (the full Figure 2
+ * sweep runs hundreds of millions of simulated operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(Tick(i * 10), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray cache({32 * 1024, 2, 32});
+    CacheArray::Victim v;
+    for (Addr a = 0; a < 32 * 1024; a += 32)
+        cache.allocate(a, v).state = MesiState::Exclusive;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a));
+        a = (a + 32) & (32 * 1024 - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_ResourceAcquire(benchmark::State &state)
+{
+    Resource r("bench");
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(r.acquire(t, 10));
+        t += 7;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceAcquire);
+
+void
+BM_FunctionalMemory(benchmark::State &state)
+{
+    FunctionalMemory mem;
+    Addr a = mem.alloc(1 << 20);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem.write<std::uint32_t>(a + (i * 4 & 0xfffff),
+                                 std::uint32_t(i));
+        benchmark::DoNotOptimize(
+            mem.read<std::uint32_t>(a + (i * 4 & 0xfffff)));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalMemory);
+
+/** End-to-end: simulated ops per host second through a full system. */
+void
+BM_SimulatedVectorSum(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SystemConfig cfg = makeConfig(4, MemModel::CC);
+        CmpSystem sys(cfg);
+        Addr a = sys.mem().alloc(64 * 1024);
+        struct Kern
+        {
+            static KernelTask
+            run(Context &ctx, Addr a, int n)
+            {
+                std::uint64_t sum = 0;
+                for (int i = 0; i < n; ++i)
+                    sum += co_await ctx.load<std::uint32_t>(
+                        a + Addr(i) * 4);
+                benchmark::DoNotOptimize(sum);
+            }
+        };
+        for (int c = 0; c < 4; ++c)
+            sys.bindKernel(c, Kern::run(sys.context(c), a, 4096));
+        sys.simulate();
+    }
+    state.SetItemsProcessed(state.iterations() * 4 * 4096);
+}
+BENCHMARK(BM_SimulatedVectorSum);
+
+} // namespace
+} // namespace cmpmem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Energy-report example: per-component energy for every paper
+ * workload on both models at 16 cores — the Figure 4 methodology
+ * applied across the full suite.
+ */
+
+#include <cstdio>
+
+#include "cmpmem.hh"
+
+using namespace cmpmem;
+
+int
+main()
+{
+    std::printf("energy report: 16 cores @ 800 MHz, both models\n\n");
+    TextTable table({"workload", "model", "core", "I$", "D$/LMem",
+                     "net", "L2", "DRAM", "total (mJ)", "STR/CC"});
+
+    for (const auto &name : workloadNames()) {
+        double cc_total = 0;
+        for (MemModel m : {MemModel::CC, MemModel::STR}) {
+            RunResult r = runWorkload(name, makeConfig(16, m));
+            const EnergyBreakdown &e = r.energy;
+            if (m == MemModel::CC)
+                cc_total = e.totalMj();
+            table.addRow(
+                {name, to_string(m), fmtF(e.coreMj, 3),
+                 fmtF(e.icacheMj, 3), fmtF(e.dstoreMj, 3),
+                 fmtF(e.networkMj, 3), fmtF(e.l2Mj, 3),
+                 fmtF(e.dramMj, 3), fmtF(e.totalMj(), 3),
+                 m == MemModel::STR
+                     ? fmt("%.2f", e.totalMj() / cc_total)
+                     : std::string("-")});
+        }
+    }
+    std::printf("%s", table.format().c_str());
+    return 0;
+}

@@ -1,0 +1,180 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "mem/l1_controller.hh"
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+Core::Core(int id, EventQueue &event_queue, Clock clock, MemModel model,
+           L1Controller *dcache, ICacheModel icache, LocalStore *ls,
+           DmaEngine *dma, CoherenceFabric *fabric, Cycles quantum_cycles)
+    : coreId(id),
+      eq(event_queue),
+      clk(clock),
+      memModel(model),
+      dcachePtr(dcache),
+      icacheModel(icache),
+      lsPtr(ls),
+      dmaPtr(dma),
+      fabricPtr(fabric),
+      quantumTicks(clock.cyclesToTicks(quantum_cycles))
+{
+}
+
+void
+Core::bindKernel(KernelTask t)
+{
+    task = std::move(t);
+}
+
+void
+Core::start()
+{
+    assert(task.valid());
+    eq.schedule(eq.now(), [this] { launch(); });
+}
+
+void
+Core::launch()
+{
+    curTick = std::max(curTick, eq.now());
+    task.resume();
+    checkDone();
+}
+
+void
+Core::checkDone()
+{
+    if (!isFinished && task.done()) {
+        isFinished = true;
+        finishedAt = curTick;
+        if (finishCb)
+            finishCb();
+    }
+}
+
+void
+Core::advanceUseful(Cycles c)
+{
+    st.bundles += c;
+    Tick dt = clk.cyclesToTicks(c);
+    curTick += dt;
+    st.usefulTicks += dt;
+
+    // Instruction fetch: statistical I-cache misses count as Useful
+    // time per the paper's breakdown definition.
+    Tick fetch_stall = icacheModel.accrue(c);
+    if (fetch_stall) {
+        curTick += fetch_stall;
+        st.usefulTicks += fetch_stall;
+    }
+}
+
+void
+Core::advanceIssue()
+{
+    Tick dt = clk.period();
+    curTick += dt;
+    st.usefulTicks += dt;
+    Tick fetch_stall = icacheModel.accrue(1);
+    if (fetch_stall) {
+        curTick += fetch_stall;
+        st.usefulTicks += fetch_stall;
+    }
+}
+
+void
+Core::advanceUsefulTicks(Tick t)
+{
+    curTick += t;
+    st.usefulTicks += t;
+}
+
+void
+Core::applySnoopStalls()
+{
+    if (!dcachePtr)
+        return;
+    Cycles c = dcachePtr->takeSnoopStallCycles();
+    if (c) {
+        Tick dt = clk.cyclesToTicks(c);
+        curTick += dt;
+        st.loadStallTicks += dt;
+    }
+}
+
+bool
+Core::needsQuantumFlush() const
+{
+    return curTick > eq.now() + quantumTicks;
+}
+
+void
+Core::beginWait(StallCat cat)
+{
+    pendingCat = cat;
+    pendingIssue = curTick;
+}
+
+void
+Core::finishWait(Tick when)
+{
+    Tick resume_at = std::max(when, pendingIssue);
+    Tick stall = resume_at - pendingIssue;
+    switch (pendingCat) {
+      case StallCat::Useful:
+        st.usefulTicks += stall;
+        break;
+      case StallCat::Sync:
+        st.syncTicks += stall;
+        break;
+      case StallCat::Load:
+        st.loadStallTicks += stall;
+        break;
+      case StallCat::Store:
+        st.storeStallTicks += stall;
+        break;
+    }
+    resumeKernel(resume_at);
+}
+
+std::function<void(Tick)>
+Core::waitCallback()
+{
+    return [this](Tick when) { finishWait(when); };
+}
+
+void
+Core::armQuantumFlush()
+{
+    // No stall: the local clock already accounts for the elapsed
+    // time; this merely hands control back to the event loop.
+    Tick at = std::max(curTick, eq.now());
+    eq.schedule(at, [this, at] {
+        curTick = std::max(curTick, at);
+        auto h = std::exchange(suspendedAt, nullptr);
+        assert(h);
+        h.resume();
+        checkDone();
+    });
+}
+
+void
+Core::resumeKernel(Tick when)
+{
+    Tick at = std::max(when, eq.now());
+    eq.schedule(at, [this, at] {
+        curTick = std::max(curTick, at);
+        auto h = std::exchange(suspendedAt, nullptr);
+        assert(h && "resume with no suspended kernel");
+        h.resume();
+        checkDone();
+    });
+}
+
+} // namespace cmpmem

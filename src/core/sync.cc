@@ -1,0 +1,72 @@
+#include "core/sync.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace cmpmem
+{
+
+Barrier::Barrier(int participants, Tick release_latency)
+    : parties(participants), releaseLatency(release_latency)
+{
+    assert(parties > 0);
+}
+
+bool
+Barrier::arrive(Tick t, Waiter waiter, Tick &release_tick)
+{
+    latest = std::max(latest, t);
+    ++arrived;
+
+    if (arrived < parties) {
+        waiters.push_back(std::move(waiter));
+        return false;
+    }
+
+    // Last arrival: release everyone.
+    release_tick = latest + releaseLatency;
+    ++numEpisodes;
+    arrived = 0;
+    latest = 0;
+    std::vector<Waiter> to_wake = std::move(waiters);
+    waiters.clear();
+    for (auto &w : to_wake)
+        w(release_tick);
+    return true;
+}
+
+Lock::Lock(Addr line_addr, Tick handoff_latency)
+    : addr(line_addr), handoffLatency(handoff_latency)
+{
+}
+
+bool
+Lock::tryAcquire(Tick t, Waiter waiter)
+{
+    (void)t;
+    ++numAcquires;
+    if (!isHeld) {
+        isHeld = true;
+        return true;
+    }
+    ++numContended;
+    waiters.push_back(std::move(waiter));
+    return false;
+}
+
+void
+Lock::release(Tick t)
+{
+    assert(isHeld);
+    if (waiters.empty()) {
+        isHeld = false;
+        return;
+    }
+    Waiter next = std::move(waiters.front());
+    waiters.pop_front();
+    // Lock stays held; ownership transfers after the handoff delay.
+    next(t + handoffLatency);
+}
+
+} // namespace cmpmem

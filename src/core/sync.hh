@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Synchronization objects shared by workload kernels: barriers and
+ * locks. Time a core spends blocked in these is the "Sync" component
+ * of the paper's execution-time breakdown (together with DMA waits
+ * in the streaming model).
+ *
+ * The objects are model-agnostic: a waiting core parks a resume
+ * callback; arrival/acquire costs (the atomic operations themselves)
+ * are charged by the Context through the cache or the remote-atomic
+ * path, so contention timing comes from the real coherence fabric.
+ */
+
+#ifndef CMPMEM_CORE_SYNC_HH
+#define CMPMEM_CORE_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * A reusable N-party barrier.
+ */
+class Barrier
+{
+  public:
+    using Waiter = std::function<void(Tick)>;
+
+    /**
+     * @param participants number of arriving cores per episode.
+     * @param release_latency broadcast delay from last arrival to
+     *        waiter wake-up (an invalidate + refetch of the barrier
+     *        flag, roughly one global round trip).
+     */
+    explicit Barrier(int participants,
+                     Tick release_latency = 20 * ticksPerNs);
+
+    /**
+     * Core arrival at tick @p t.
+     * @return true when this arrival releases the barrier; the
+     *         release tick is stored in @p release_tick and all
+     *         parked waiters have been resumed at it. Otherwise the
+     *         caller must suspend; @p waiter fires at release.
+     */
+    bool arrive(Tick t, Waiter waiter, Tick &release_tick);
+
+    int participants() const { return parties; }
+    std::uint64_t episodes() const { return numEpisodes; }
+
+  private:
+    int parties;
+    Tick releaseLatency;
+    int arrived = 0;
+    Tick latest = 0;
+    std::vector<Waiter> waiters;
+    std::uint64_t numEpisodes = 0;
+};
+
+/**
+ * A queue lock (list-based, FIFO handoff).
+ */
+class Lock
+{
+  public:
+    using Waiter = std::function<void(Tick)>;
+
+    /**
+     * @param line_addr address of the lock word in simulated memory
+     *        (the line the acquire/release RMWs bounce through).
+     * @param handoff_latency line-transfer delay from releaser to
+     *        the next waiter.
+     */
+    explicit Lock(Addr line_addr, Tick handoff_latency = 20 * ticksPerNs);
+
+    Addr lineAddr() const { return addr; }
+
+    /**
+     * Attempt to take the lock at tick @p t.
+     * @return true if acquired immediately; otherwise the caller
+     *         suspends and @p waiter fires when the lock is handed
+     *         over.
+     */
+    bool tryAcquire(Tick t, Waiter waiter);
+
+    /**
+     * Release at tick @p t; hands the lock to the oldest waiter.
+     * @pre held()
+     */
+    void release(Tick t);
+
+    bool held() const { return isHeld; }
+    std::uint64_t acquisitions() const { return numAcquires; }
+    std::uint64_t contendedAcquisitions() const { return numContended; }
+
+  private:
+    Addr addr;
+    Tick handoffLatency;
+    bool isHeld = false;
+    std::deque<Waiter> waiters;
+    std::uint64_t numAcquires = 0;
+    std::uint64_t numContended = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_CORE_SYNC_HH

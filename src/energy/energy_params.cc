@@ -1,0 +1,4 @@
+// EnergyParams is a plain aggregate; this translation unit exists so
+// the header has a home in the build graph and future validated
+// parameter sets (e.g. alternative process nodes) can live here.
+#include "energy/energy_params.hh"

@@ -1,0 +1,59 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "harness/table.hh"
+
+namespace cmpmem
+{
+
+SystemConfig
+makeConfig(int cores, MemModel model, double ghz, double dram_gbps)
+{
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.model = model;
+    cfg.coreClockGhz = ghz;
+    cfg.dram.bandwidthGBps = dram_gbps;
+    return cfg;
+}
+
+NormBreakdown
+normalizedBreakdown(const RunStats &rs, Tick baseline_ticks)
+{
+    NormBreakdown b;
+    if (baseline_ticks == 0 || rs.perCore.empty())
+        return b;
+    double denom =
+        double(baseline_ticks) * double(rs.perCore.size());
+    // Idle tail (a core finishing before the slowest) counts as
+    // sync, as a barrier at program end would.
+    double idle = 0;
+    for (const auto &cs : rs.perCore) {
+        b.useful += double(cs.usefulTicks) / denom;
+        b.sync += double(cs.syncTicks) / denom;
+        b.load += double(cs.loadStallTicks) / denom;
+        b.store += double(cs.storeStallTicks) / denom;
+        idle += double(rs.execTicks - cs.totalTicks()) / denom;
+    }
+    b.sync += idle;
+    return b;
+}
+
+WorkloadParams
+benchParams()
+{
+    WorkloadParams params;
+    if (const char *env = std::getenv("CMPMEM_SCALE"))
+        params.scale = std::atoi(env);
+    return params;
+}
+
+std::string
+breakdownCells(const NormBreakdown &b)
+{
+    return fmt("total=%.3f useful=%.3f sync=%.3f load=%.3f store=%.3f",
+               b.total(), b.useful, b.sync, b.load, b.store);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: canonical
+ * configurations (Table 2 defaults with one knob turned) and the
+ * normalized execution-time breakdown of Figure 2.
+ */
+
+#ifndef CMPMEM_HARNESS_EXPERIMENT_HH
+#define CMPMEM_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+#include "system/config.hh"
+
+namespace cmpmem
+{
+
+/** A Table 2 configuration with the usual experiment knobs. */
+SystemConfig makeConfig(int cores, MemModel model, double ghz = 0.8,
+                        double dram_gbps = 3.2);
+
+/**
+ * Figure 2-style breakdown: each component is the per-core average
+ * time in that category divided by @p baseline_ticks (the 1-core CC
+ * execution time). The components sum to approximately the
+ * normalized execution time of the run.
+ */
+struct NormBreakdown
+{
+    double useful = 0;
+    double sync = 0;
+    double load = 0;
+    double store = 0;
+
+    double total() const { return useful + sync + load + store; }
+};
+
+NormBreakdown normalizedBreakdown(const RunStats &rs,
+                                  Tick baseline_ticks);
+
+/** One row of a Figure 2-style chart, formatted. */
+std::string breakdownCells(const NormBreakdown &b);
+
+/**
+ * Workload scale for bench binaries: reads the CMPMEM_SCALE
+ * environment variable (default 1; 0 selects the tiny test inputs
+ * for a quick pass).
+ */
+WorkloadParams benchParams();
+
+} // namespace cmpmem
+
+#endif // CMPMEM_HARNESS_EXPERIMENT_HH

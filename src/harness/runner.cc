@@ -1,0 +1,45 @@
+#include "harness/runner.hh"
+
+#include <chrono>
+
+#include "sim/log.hh"
+#include "workloads/registry.hh"
+
+namespace cmpmem
+{
+
+RunResult
+runWorkload(const std::string &workload_name, const SystemConfig &cfg,
+            const WorkloadParams &params)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    CmpSystem sys(cfg);
+    auto workload = createWorkload(workload_name, params);
+    workload->setup(sys);
+
+    double mpki = workload->icacheMpki(sys.config());
+    for (int i = 0; i < sys.cores(); ++i) {
+        sys.core(i).icache().setMissesPerKiloInstr(mpki);
+        sys.bindKernel(i, workload->kernel(sys.context(i)));
+    }
+
+    sys.simulate();
+
+    RunResult result;
+    result.stats = sys.collectStats();
+    result.stats.workload = workload->name();
+    result.stats.variant = workload->variant();
+    result.energy = EnergyModel(cfg.energy).compute(result.stats);
+    result.verified = workload->verify(sys);
+    if (!result.verified)
+        warn("workload %s/%s failed verification",
+             workload->name().c_str(), workload->variant().c_str());
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+} // namespace cmpmem

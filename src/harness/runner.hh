@@ -1,0 +1,40 @@
+/**
+ * @file
+ * One-call experiment runner: build a system, run a workload on it,
+ * verify the output, and collect statistics and energy.
+ */
+
+#ifndef CMPMEM_HARNESS_RUNNER_HH
+#define CMPMEM_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "system/cmp_system.hh"
+#include "workloads/workload.hh"
+
+namespace cmpmem
+{
+
+struct RunResult
+{
+    RunStats stats;
+    EnergyBreakdown energy;
+    bool verified = false;
+    double hostSeconds = 0; ///< wall-clock simulation cost
+};
+
+/**
+ * Run @p workload_name on a system configured by @p cfg.
+ *
+ * Verification failure is a reproduction bug: the runner reports it
+ * in the result and warn()s, leaving the decision to the caller
+ * (tests assert on it; benches print a diagnostic).
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const SystemConfig &cfg,
+                      const WorkloadParams &params = {});
+
+} // namespace cmpmem
+
+#endif // CMPMEM_HARNESS_RUNNER_HH

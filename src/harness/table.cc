@@ -1,0 +1,80 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cmpmem
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::format() const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            line += c == 0 ? "" : " | ";
+            line += cell;
+            line.append(widths[c] - cell.size(), ' ');
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out = renderRow(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 3 : 0);
+    out.append(total, '-');
+    out += "\n";
+    for (const auto &row : rows)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    std::va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    return fmt("%.*f", precision, v);
+}
+
+std::string
+fmtPct(double fraction)
+{
+    return fmt("%.2f%%", fraction * 100.0);
+}
+
+} // namespace cmpmem

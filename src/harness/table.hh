@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench binaries, which print
+ * the same rows/series the paper's tables and figures report.
+ */
+
+#ifndef CMPMEM_HARNESS_TABLE_HH
+#define CMPMEM_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cmpmem
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Aligned, pipe-separated rendering with a rule under headers. */
+    std::string format() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** printf-style helpers for cells. */
+std::string fmt(const char *format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Fixed-precision double. */
+std::string fmtF(double v, int precision = 2);
+
+/** Percent with one decimal ("3.4%"). */
+std::string fmtPct(double fraction);
+
+} // namespace cmpmem
+
+#endif // CMPMEM_HARNESS_TABLE_HH

@@ -1,0 +1,101 @@
+#include "mem/cache_array.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+namespace
+{
+bool
+isPow2(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+} // namespace
+
+CacheArray::CacheArray(const CacheGeometry &g) : geom(g)
+{
+    if (!isPow2(geom.lineBytes) || !isPow2(geom.sets()))
+        fatal("cache geometry must have power-of-two sets and line size "
+              "(size=%u assoc=%u line=%u)",
+              geom.sizeBytes, geom.assoc, geom.lineBytes);
+    lines.resize(std::size_t(geom.sets()) * geom.assoc);
+}
+
+std::uint32_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr / geom.lineBytes) & (geom.sets() - 1);
+}
+
+CacheArray::Line *
+CacheArray::lookup(Addr addr)
+{
+    Addr la = lineAddr(addr);
+    Line *set = &lines[std::size_t(setIndex(addr)) * geom.assoc];
+    for (std::uint32_t w = 0; w < geom.assoc; ++w) {
+        if (set[w].valid() && set[w].tag == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Line *
+CacheArray::lookup(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->lookup(addr);
+}
+
+void
+CacheArray::touch(Line &line)
+{
+    line.lruStamp = ++lruClock;
+}
+
+CacheArray::Line &
+CacheArray::allocate(Addr addr, Victim &victim)
+{
+    assert(lookup(addr) == nullptr && "allocating a duplicate tag");
+
+    Line *set = &lines[std::size_t(setIndex(addr)) * geom.assoc];
+    Line *pick = &set[0];
+    for (std::uint32_t w = 0; w < geom.assoc; ++w) {
+        if (!set[w].valid()) {
+            pick = &set[w];
+            break;
+        }
+        if (set[w].lruStamp < pick->lruStamp)
+            pick = &set[w];
+    }
+
+    victim.valid = pick->valid();
+    victim.dirty = pick->dirty();
+    victim.addr = pick->tag;
+
+    pick->tag = lineAddr(addr);
+    pick->state = MesiState::Invalid;
+    pick->flags = 0;
+    touch(*pick);
+    return *pick;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &line : lines)
+        line.state = MesiState::Invalid;
+}
+
+std::size_t
+CacheArray::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines)
+        n += line.valid();
+    return n;
+}
+
+} // namespace cmpmem

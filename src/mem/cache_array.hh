@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Set-associative tag/state array with true-LRU replacement.
+ *
+ * cmpmem caches carry timing and coherence *metadata* only; data
+ * values live in FunctionalMemory (see functional_memory.hh for the
+ * rationale). The array is shared by L1 D-caches, the streaming
+ * model's small 8 KB caches, I-cache footprint modelling, and the L2.
+ */
+
+#ifndef CMPMEM_MEM_CACHE_ARRAY_HH
+#define CMPMEM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/** MESI coherence states. Non-coherent caches use only I/E/M. */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+inline const char *
+to_string(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+    }
+    return "?";
+}
+
+/** Geometry and identity of a cache array. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 32;
+
+    std::uint32_t sets() const { return sizeBytes / (assoc * lineBytes); }
+};
+
+/**
+ * The tag/state array.
+ */
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        Addr tag = 0; ///< line-aligned address of the cached block
+        MesiState state = MesiState::Invalid;
+        std::uint8_t flags = 0; ///< client-defined (e.g. prefetched)
+        std::uint64_t lruStamp = 0;
+
+        bool valid() const { return state != MesiState::Invalid; }
+        bool dirty() const { return state == MesiState::Modified; }
+    };
+
+    /** Description of a line displaced by allocate(). */
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr addr = 0;
+    };
+
+    explicit CacheArray(const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Line-align an address. */
+    Addr lineAddr(Addr a) const { return a & ~Addr(geom.lineBytes - 1); }
+
+    /**
+     * Find the line holding @p addr, or nullptr. Does not update LRU;
+     * callers decide whether the probe counts as a use (demand access)
+     * or not (snoop).
+     */
+    Line *lookup(Addr addr);
+    const Line *lookup(Addr addr) const;
+
+    /** Mark @p line most recently used. */
+    void touch(Line &line);
+
+    /**
+     * Claim a frame for @p addr, evicting the LRU line of the set if
+     * necessary. The displaced line (if any) is described in
+     * @p victim. The returned line is re-tagged to @p addr and left
+     * Invalid; the caller sets the state.
+     *
+     * @pre lookup(addr) == nullptr (no duplicate tags).
+     */
+    Line &allocate(Addr addr, Victim &victim);
+
+    /** Invalidate every line (used between runs in tests). */
+    void invalidateAll();
+
+    /** Count of currently valid lines. */
+    std::size_t validLines() const;
+
+    /**
+     * Invoke @p fn with the address of every Modified line and
+     * downgrade it to Exclusive (clean). Used by end-of-run drains.
+     * @return the number of dirty lines visited.
+     */
+    template <typename Fn>
+    std::size_t
+    forEachDirty(Fn &&fn)
+    {
+        std::size_t n = 0;
+        for (auto &line : lines) {
+            if (line.state == MesiState::Modified) {
+                fn(line.tag);
+                line.state = MesiState::Exclusive;
+                ++n;
+            }
+        }
+        return n;
+    }
+
+  private:
+    std::uint32_t setIndex(Addr addr) const;
+
+    CacheGeometry geom;
+    std::vector<Line> lines; ///< sets * assoc, set-major
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_MEM_CACHE_ARRAY_HH

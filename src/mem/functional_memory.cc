@@ -1,0 +1,76 @@
+#include "mem/functional_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+std::uint8_t *
+FunctionalMemory::pageFor(Addr addr)
+{
+    Addr base = addr & ~(pageBytes - 1);
+    auto it = pages.find(base);
+    if (it == pages.end()) {
+        auto page = std::make_unique<std::uint8_t[]>(pageBytes);
+        std::memset(page.get(), 0, pageBytes);
+        it = pages.emplace(base, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+const std::uint8_t *
+FunctionalMemory::pageForRead(Addr addr) const
+{
+    Addr base = addr & ~(pageBytes - 1);
+    auto it = pages.find(base);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+void
+FunctionalMemory::read(Addr addr, void *dst, std::size_t size) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        Addr offset = addr & (pageBytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(size, pageBytes - offset);
+        const std::uint8_t *page = pageForRead(addr);
+        if (page)
+            std::memcpy(out, page + offset, chunk);
+        else
+            std::memset(out, 0, chunk); // untouched memory reads zero
+        out += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+FunctionalMemory::write(Addr addr, const void *src, std::size_t size)
+{
+    auto *in = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        Addr offset = addr & (pageBytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(size, pageBytes - offset);
+        std::memcpy(pageFor(addr) + offset, in, chunk);
+        in += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+Addr
+FunctionalMemory::alloc(std::size_t size, std::size_t align)
+{
+    assert(align > 0 && (align & (align - 1)) == 0 &&
+           "alignment must be a power of two");
+    Addr base = (brk + align - 1) & ~Addr(align - 1);
+    brk = base + size;
+    return base;
+}
+
+} // namespace cmpmem

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The flat functional backing store for the simulated global address
+ * space, plus a bump allocator workloads use to lay out their data.
+ *
+ * Timing and data are deliberately decoupled in cmpmem: caches and
+ * local stores model *timing and coherence metadata*, while values
+ * live here. All paper workloads are data-race-free (they
+ * synchronize through locks/barriers/task queues), so functional
+ * accesses applied in core-issue order observe the same values a
+ * data-carrying cache hierarchy would.
+ */
+
+#ifndef CMPMEM_MEM_FUNCTIONAL_MEMORY_HH
+#define CMPMEM_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * Sparse, page-granular byte-addressable memory.
+ *
+ * Pages materialize zero-filled on first touch; the simulated address
+ * space is effectively 2^64 bytes while host memory usage tracks the
+ * workload footprint.
+ */
+class FunctionalMemory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    FunctionalMemory() = default;
+    FunctionalMemory(const FunctionalMemory &) = delete;
+    FunctionalMemory &operator=(const FunctionalMemory &) = delete;
+
+    void read(Addr addr, void *dst, std::size_t size) const;
+    void write(Addr addr, const void *src, std::size_t size);
+
+    /** Typed convenience accessors for trivially copyable values. */
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &value, sizeof(T));
+    }
+
+    /**
+     * Allocate @p size bytes aligned to @p align from the bump
+     * allocator.
+     *
+     * The first allocation starts at a non-zero base so that address
+     * zero can serve as a null sentinel in workload data structures.
+     */
+    Addr alloc(std::size_t size, std::size_t align = 64);
+
+    /** Total bytes handed out by alloc(). */
+    Addr allocated() const { return brk - allocBase; }
+
+    /** Number of materialized pages (for tests / footprint checks). */
+    std::size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    std::uint8_t *pageFor(Addr addr);
+    const std::uint8_t *pageForRead(Addr addr) const;
+
+    static constexpr Addr allocBase = 0x10000;
+
+    std::unordered_map<Addr, Page> pages;
+    Addr brk = allocBase;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_MEM_FUNCTIONAL_MEMORY_HH

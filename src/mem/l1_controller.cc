@@ -1,0 +1,615 @@
+#include "mem/l1_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+//
+// CoherenceFabric
+//
+
+CoherenceFabric::CoherenceFabric(const InterconnectConfig &net_cfg,
+                                 int cores, int cluster_size, L2Cache &l2,
+                                 DramChannel &dram)
+    : net(net_cfg),
+      numCores(cores),
+      clusterSize(cluster_size),
+      numClusters((cores + cluster_size - 1) / cluster_size),
+      l2cache(l2),
+      dramChannel(dram),
+      xbar(net_cfg, (cores + cluster_size - 1) / cluster_size)
+{
+    for (int c = 0; c < numClusters; ++c)
+        buses.push_back(std::make_unique<LocalBus>(net, c));
+}
+
+void
+CoherenceFabric::registerL1(L1Controller *l1)
+{
+    assert(int(l1s.size()) == l1->coreId());
+    l1s.push_back(l1);
+}
+
+int
+CoherenceFabric::snoopCluster(int cluster, int requester, Addr line,
+                              bool invalidate, bool &supplier_was_dirty,
+                              bool &supplier_was_owner,
+                              bool &others_retain)
+{
+    int supplier = -1;
+    int lo = cluster * clusterSize;
+    int hi = std::min(lo + clusterSize, int(l1s.size()));
+    for (int j = lo; j < hi; ++j) {
+        if (j == requester)
+            continue;
+        ++stats.snoopProbes;
+        auto res = l1s[j]->snoop(line, invalidate);
+        if (res.had) {
+            if (supplier < 0 || res.dirty) {
+                supplier = j;
+                supplier_was_dirty = res.dirty;
+                supplier_was_owner = res.owned;
+            }
+            if (!invalidate)
+                others_retain = true;
+        }
+    }
+    return supplier;
+}
+
+CoherenceFabric::FetchResult
+CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
+                           bool coherent)
+{
+    const std::uint32_t line_bytes = l2cache.config().lineBytes;
+    const int cl = clusterOf(core_id);
+    FetchResult result;
+
+    ++stats.clusterRequests;
+
+    // Step 1: broadcast the request on the local cluster bus.
+    Tick t_req = bus(cl).transfer(t, net.requestBytes);
+
+    if (coherent && !l1s.empty()) {
+        bool dirty = false;
+        bool owner = false;
+        bool retain = false;
+        int supplier = snoopCluster(cl, core_id, line, exclusive, dirty,
+                                    owner, retain);
+        if (supplier >= 0) {
+            // Cache-to-cache supply within the cluster.
+            ++stats.localSupplies;
+            l1s[supplier]->stats.suppliesProvided++;
+            if (dirty && !exclusive) {
+                // MESI: downgraded dirty owner writes the line back.
+                writebackLine(t_req, supplier, line);
+            }
+            result.done = bus(cl).transfer(t_req, line_bytes);
+            result.othersRetainCopy = retain;
+            if (exclusive && !owner) {
+                // The supplier held the line Shared, so copies may
+                // exist in other clusters: a read-for-ownership must
+                // still broadcast invalidations globally and wait
+                // for the acknowledgements.
+                Tick t_global = xbar.sendFromCluster(
+                    t_req, cl, net.requestBytes);
+                Tick acked = t_global;
+                for (int c2 = 0; c2 < numClusters; ++c2) {
+                    if (c2 == cl)
+                        continue;
+                    Tick tr = bus(c2).transfer(t_global,
+                                               net.requestBytes);
+                    bool d2 = false, o2 = false, r2 = false;
+                    snoopCluster(c2, core_id, line, true, d2, o2, r2);
+                    acked = std::max(acked, tr);
+                }
+                acked = xbar.deliverToCluster(acked, cl,
+                                              net.requestBytes);
+                result.done = std::max(result.done, acked);
+            }
+            return result;
+        }
+    }
+
+    // Step 2: the request goes global -- broadcast to the other
+    // clusters and look up the L2 in parallel.
+    ++stats.globalRequests;
+    Tick t_global = xbar.sendFromCluster(t_req, cl, net.requestBytes);
+
+    int remote_supplier = -1;
+    int remote_cluster = -1;
+    bool remote_dirty = false;
+    Tick t_remote_snooped = t_global;
+    if (coherent && !l1s.empty()) {
+        for (int c2 = 0; c2 < numClusters; ++c2) {
+            if (c2 == cl)
+                continue;
+            Tick tr = bus(c2).transfer(t_global, net.requestBytes);
+            t_remote_snooped = std::max(t_remote_snooped, tr);
+            bool dirty = false;
+            bool owner = false;
+            bool retain = false;
+            int s = snoopCluster(c2, core_id, line, exclusive, dirty,
+                                 owner, retain);
+            if (s >= 0 && (remote_supplier < 0 || dirty)) {
+                remote_supplier = s;
+                remote_cluster = c2;
+                remote_dirty = dirty;
+            }
+            if (retain)
+                result.othersRetainCopy = true;
+        }
+    }
+
+    if (remote_supplier >= 0) {
+        // Remote cluster supplies: its bus, through the crossbar,
+        // onto our bus.
+        ++stats.remoteSupplies;
+        l1s[remote_supplier]->stats.suppliesProvided++;
+        if (remote_dirty && !exclusive)
+            writebackLine(t_remote_snooped, remote_supplier, line);
+        Tick t1 = bus(remote_cluster).transfer(t_remote_snooped,
+                                               line_bytes);
+        Tick t2 = xbar.sendFromCluster(t1, remote_cluster, line_bytes);
+        Tick t3 = xbar.deliverToCluster(t2, cl, line_bytes);
+        result.done = bus(cl).transfer(t3, line_bytes);
+        return result;
+    }
+
+    // Step 3: L2 (and DRAM beyond it).
+    bool l2_hit = false;
+    Tick t_l2 = l2cache.readLine(t_global, line, l2_hit);
+    Tick t_back = xbar.deliverToCluster(t_l2, cl, line_bytes);
+    result.done = bus(cl).transfer(t_back, line_bytes);
+    return result;
+}
+
+Tick
+CoherenceFabric::upgradeLine(Tick t, int core_id, Addr line)
+{
+    const int cl = clusterOf(core_id);
+    ++stats.upgrades;
+
+    // Invalidate within the cluster.
+    Tick t_req = bus(cl).transfer(t, net.requestBytes);
+    bool dirty = false;
+    bool owner = false;
+    bool retain = false;
+    if (!l1s.empty())
+        snoopCluster(cl, core_id, line, true, dirty, owner, retain);
+
+    // Upgrades cannot be satisfied within one cluster (another
+    // sharer may exist anywhere), so they always broadcast globally.
+    Tick t_global = xbar.sendFromCluster(t_req, cl, net.requestBytes);
+    Tick done = t_global;
+    for (int c2 = 0; c2 < numClusters; ++c2) {
+        if (c2 == cl)
+            continue;
+        Tick tr = bus(c2).transfer(t_global, net.requestBytes);
+        if (!l1s.empty())
+            snoopCluster(c2, core_id, line, true, dirty, owner, retain);
+        done = std::max(done, tr);
+    }
+    // Acknowledgement collapses back through the crossbar.
+    return xbar.deliverToCluster(done, cl, net.requestBytes);
+}
+
+void
+CoherenceFabric::writebackLine(Tick t, int core_id, Addr line)
+{
+    const std::uint32_t line_bytes = l2cache.config().lineBytes;
+    const int cl = clusterOf(core_id);
+    ++stats.writebacks;
+    Tick t1 = bus(cl).transfer(t, line_bytes);
+    Tick t2 = xbar.sendFromCluster(t1, cl, line_bytes);
+    l2cache.writeLine(t2, line, line_bytes, true);
+}
+
+Tick
+CoherenceFabric::uncoreRead(Tick t, int cluster, Addr line,
+                            std::uint32_t bytes)
+{
+    ++stats.uncoreReads;
+    Tick t1 = bus(cluster).transfer(t, net.requestBytes);
+    Tick t2 = xbar.sendFromCluster(t1, cluster, net.requestBytes);
+    bool hit = false;
+    Tick t3 = l2cache.readLine(t2, line, hit);
+    Tick t4 = xbar.deliverToCluster(t3, cluster, bytes);
+    return bus(cluster).transfer(t4, bytes);
+}
+
+Tick
+CoherenceFabric::uncoreWrite(Tick t, int cluster, Addr line,
+                             std::uint32_t bytes, bool full_line)
+{
+    ++stats.uncoreWrites;
+    Tick t1 = bus(cluster).transfer(t, bytes);
+    Tick t2 = xbar.sendFromCluster(t1, cluster, bytes);
+    return l2cache.writeLine(t2, line, bytes, full_line);
+}
+
+Tick
+CoherenceFabric::remoteAtomic(Tick t, int cluster, Addr line)
+{
+    ++stats.remoteAtomics;
+    Tick t1 = bus(cluster).transfer(t, net.requestBytes);
+    Tick t2 = xbar.sendFromCluster(t1, cluster, net.requestBytes);
+    // One L2 bank pass performs the read-modify-write at the line
+    // holding the synchronization variable.
+    bool hit = false;
+    Tick t3 = l2cache.readLine(t2, line, hit);
+    (void)hit;
+    Tick t4 = xbar.deliverToCluster(t3, cluster, net.requestBytes);
+    return bus(cluster).transfer(t4, net.requestBytes);
+}
+
+//
+// L1Controller
+//
+
+L1Controller::L1Controller(int core_id, const L1Config &config,
+                           EventQueue &event_queue,
+                           CoherenceFabric &coherence_fabric)
+    : id(core_id),
+      cfg(config),
+      eq(event_queue),
+      fabric(coherence_fabric),
+      array(config.geom),
+      mshr(config.mshrs),
+      sb(config.storeBufferEntries)
+{
+    if (cfg.coherent)
+        fabric.registerL1(this);
+}
+
+Cycles
+L1Controller::takeSnoopStallCycles()
+{
+    return std::exchange(snoopStallCycles, 0);
+}
+
+L1Controller::SnoopResult
+L1Controller::snoop(Addr line, bool invalidate)
+{
+    ++stats.snoopsReceived;
+    snoopStallCycles += 1; // snoops occupy the cache for one cycle
+
+    CacheArray::Line *l = array.lookup(line);
+    if (!l)
+        return {false, false};
+
+    SnoopResult res{true, l->dirty(),
+                    l->state == MesiState::Modified ||
+                        l->state == MesiState::Exclusive};
+    if (invalidate) {
+        l->state = MesiState::Invalid;
+        ++stats.invalidationsReceived;
+    } else if (l->state == MesiState::Modified ||
+               l->state == MesiState::Exclusive) {
+        l->state = MesiState::Shared;
+    }
+    return res;
+}
+
+void
+L1Controller::install(Tick t, Addr line, MesiState state, bool prefetched)
+{
+    // A snoop may have raced the fill; (re)check for an existing
+    // frame before allocating.
+    CacheArray::Line *existing = array.lookup(line);
+    if (existing) {
+        if (state == MesiState::Modified)
+            existing->state = MesiState::Modified;
+        return;
+    }
+
+    CacheArray::Victim victim;
+    CacheArray::Line &l = array.allocate(line, victim);
+    if (victim.valid && victim.dirty) {
+        ++stats.writebacks;
+        fabric.writebackLine(t, id, victim.addr);
+    }
+    l.state = state;
+    l.flags = prefetched ? flagPrefetched : 0;
+    ++stats.fills;
+}
+
+void
+L1Controller::startFill(Tick t, Addr line, bool exclusive, AccessKind kind)
+{
+    assert(!mshr.outstanding(line));
+    mshr.allocate(line, exclusive);
+
+    auto result = fabric.fetchLine(t, id, line, exclusive, cfg.coherent);
+    bool prefetched = (kind == AccessKind::Prefetch);
+    MesiState state;
+    if (exclusive) {
+        state = MesiState::Modified;
+    } else if (cfg.coherent && result.othersRetainCopy) {
+        state = MesiState::Shared;
+    } else {
+        state = MesiState::Exclusive;
+    }
+
+    eq.schedule(result.done, [this, line, state, prefetched,
+                              done = result.done] {
+        install(done, line, state, prefetched);
+        mshr.complete(line, done);
+    });
+}
+
+bool
+L1Controller::load(Tick t, Addr addr, Callback cb)
+{
+    Addr line = array.lineAddr(addr);
+
+    // Forwarding from a pending buffered store.
+    if (sb.contains(line)) {
+        ++stats.loadHits;
+        return true;
+    }
+
+    CacheArray::Line *l = array.lookup(line);
+    if (l) {
+        ++stats.loadHits;
+        array.touch(*l);
+        if ((l->flags & flagPrefetched) != 0) {
+            l->flags &= ~flagPrefetched;
+            ++stats.prefetchesUseful;
+            if (prefetcher) {
+                for (Addr pf : prefetcher->onPrefetchHit(line))
+                    issuePrefetchLine(t, pf);
+            }
+        }
+        return true;
+    }
+
+    ++stats.loadMisses;
+    if (mshr.outstanding(line)) {
+        mshr.addWaiter(line, std::move(cb));
+        // Keep prefetch streams advancing at demand rate even when
+        // the demand merges onto an in-flight (prefetch) fill;
+        // otherwise streams throttle to the fill latency and lose
+        // their run-ahead.
+        issuePrefetches(t, line);
+        return false;
+    }
+
+    startFill(t, line, false, AccessKind::Load);
+    mshr.addWaiter(line, std::move(cb));
+    issuePrefetches(t, line);
+    return false;
+}
+
+void
+L1Controller::issuePrefetchLine(Tick t, Addr pf_line)
+{
+    if (array.lookup(pf_line) || mshr.outstanding(pf_line) ||
+        sb.contains(pf_line))
+        return;
+    // Keep MSHR headroom for demand traffic: an in-order core has at
+    // most one blocking load, the store-buffer entries, and an
+    // atomic outstanding, so reserving a dozen entries guarantees
+    // prefetches can never starve a demand miss.
+    constexpr std::size_t demand_reserve = 12;
+    if (mshr.inFlight() + demand_reserve >= cfg.mshrs)
+        return;
+    ++stats.prefetchesIssued;
+    startFill(t, pf_line, false, AccessKind::Prefetch);
+}
+
+void
+L1Controller::softwarePrefetch(Tick t, Addr addr)
+{
+    issuePrefetchLine(t, array.lineAddr(addr));
+}
+
+void
+L1Controller::issuePrefetches(Tick t, Addr miss_line)
+{
+    if (!prefetcher)
+        return;
+    for (Addr pf : prefetcher->onMiss(miss_line))
+        issuePrefetchLine(t, pf);
+}
+
+void
+L1Controller::ensureOwnership(Tick t, Addr line)
+{
+    CacheArray::Line *l = array.lookup(line);
+    if (l && (l->state == MesiState::Modified ||
+              l->state == MesiState::Exclusive)) {
+        l->state = MesiState::Modified;
+        sb.complete(line, t);
+        return;
+    }
+
+    if (mshr.outstanding(line)) {
+        // Another transaction is in flight; chain behind it.
+        mshr.addWaiter(line, [this, line](Tick ft) {
+            ensureOwnership(ft, line);
+        });
+        return;
+    }
+
+    if (l) {
+        // Shared here: upgrade (invalidation-only broadcast).
+        mshr.allocate(line, true);
+        Tick done = fabric.upgradeLine(t, id, line);
+        eq.schedule(done, [this, line, done] {
+            if (CacheArray::Line *cur = array.lookup(line))
+                cur->state = MesiState::Modified;
+            // The frame may have been evicted while the upgrade was
+            // in flight; ownership is still ours, so re-install.
+            else
+                install(done, line, MesiState::Modified, false);
+            Tick when = done;
+            mshr.complete(line, when);
+            sb.complete(line, when);
+        });
+        return;
+    }
+
+    // Not present anymore (evicted while waiting): full exclusive
+    // fetch, completing the buffered store at fill time.
+    mshr.allocate(line, true);
+    auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
+    eq.schedule(result.done, [this, line, done = result.done] {
+        install(done, line, MesiState::Modified, false);
+        mshr.complete(line, done);
+        sb.complete(line, done);
+    });
+}
+
+void
+L1Controller::startPfsAllocate(Tick t, Addr line)
+{
+    assert(!mshr.outstanding(line));
+    mshr.allocate(line, true);
+    ++stats.pfsStores;
+    Tick done = cfg.coherent ? fabric.upgradeLine(t, id, line) : t;
+    eq.schedule(std::max(done, t), [this, line, done] {
+        install(done, line, MesiState::Modified, false);
+        mshr.complete(line, done);
+        sb.complete(line, done);
+    });
+}
+
+bool
+L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
+{
+    Addr line = array.lineAddr(addr);
+
+    // Coalesce into an already-buffered store to the same line.
+    if (sb.contains(line)) {
+        ++stats.storeMerged;
+        return true;
+    }
+
+    CacheArray::Line *l = array.lookup(line);
+    if (l && (l->state == MesiState::Modified ||
+              l->state == MesiState::Exclusive)) {
+        ++stats.storeHits;
+        l->state = MesiState::Modified;
+        array.touch(*l);
+        return true;
+    }
+
+    // Needs an ownership transaction: park in the store buffer.
+    if (sb.full()) {
+        sb.waitForSpace([this, t, addr, pfs,
+                         cb = std::move(cb)](Tick when) mutable {
+            // Retry now that a slot freed; the retry always succeeds
+            // in buffering, so complete the core's wait.
+            bool ok = store(std::max(when, t), addr, pfs, nullptr);
+            assert(ok);
+            (void)ok;
+            cb(when);
+        });
+        return false;
+    }
+
+    ++stats.storeMisses;
+    sb.insert(line);
+
+    if (l) {
+        // Present but Shared: upgrade.
+        array.touch(*l);
+        ensureOwnership(t, line);
+    } else if (mshr.outstanding(line)) {
+        // A fill is in flight; take ownership once it lands.
+        mshr.addWaiter(line, [this, line](Tick ft) {
+            ensureOwnership(ft, line);
+        });
+    } else if (pfs) {
+        startPfsAllocate(t, line);
+    } else {
+        mshr.allocate(line, true);
+        auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
+        eq.schedule(result.done, [this, line, done = result.done] {
+            install(done, line, MesiState::Modified, false);
+            mshr.complete(line, done);
+            sb.complete(line, done);
+        });
+        issuePrefetches(t, line);
+    }
+    return true;
+}
+
+void
+L1Controller::atomic(Tick t, Addr addr, Callback cb)
+{
+    Addr line = array.lineAddr(addr);
+    ++stats.atomicOps;
+
+    CacheArray::Line *l = array.lookup(line);
+    if (l && (l->state == MesiState::Modified ||
+              l->state == MesiState::Exclusive) &&
+        !sb.contains(line)) {
+        l->state = MesiState::Modified;
+        array.touch(*l);
+        // Completion callbacks must never fire synchronously (the
+        // issuing coroutine has not suspended yet); bounce through
+        // the event queue.
+        Tick done = t + cfg.atomicLatency * cfg.cyclePeriod;
+        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        return;
+    }
+
+    // Acquire ownership, then complete.
+    auto finish = [this, line, cb = std::move(cb)](Tick ft) {
+        if (CacheArray::Line *cur = array.lookup(line)) {
+            cur->state = MesiState::Modified;
+            cb(ft);
+            return;
+        }
+        // Filled and already evicted (pathological); just charge the
+        // time and proceed.
+        cb(ft);
+    };
+
+    if (mshr.outstanding(line)) {
+        mshr.addWaiter(line, std::move(finish));
+        return;
+    }
+
+    if (l) {
+        // Shared: upgrade.
+        mshr.allocate(line, true);
+        Tick done = fabric.upgradeLine(t, id, line);
+        eq.schedule(done, [this, line, done] {
+            if (CacheArray::Line *cur = array.lookup(line))
+                cur->state = MesiState::Modified;
+            else
+                install(done, line, MesiState::Modified, false);
+            mshr.complete(line, done);
+        });
+        mshr.addWaiter(line, std::move(finish));
+        return;
+    }
+
+    mshr.allocate(line, true);
+    auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
+    eq.schedule(result.done, [this, line, done = result.done] {
+        install(done, line, MesiState::Modified, false);
+        mshr.complete(line, done);
+    });
+    mshr.addWaiter(line, std::move(finish));
+}
+
+std::uint64_t
+L1Controller::drainDirty(Tick t)
+{
+    return array.forEachDirty([&](Addr line) {
+        ++stats.writebacks;
+        fabric.writebackLine(t, id, line);
+    });
+}
+
+} // namespace cmpmem

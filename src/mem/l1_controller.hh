@@ -1,0 +1,308 @@
+/**
+ * @file
+ * First-level data cache controller and the snooping coherence
+ * fabric that connects the L1s, the L2 banks, and the memory channel
+ * over the hierarchical interconnect of Figure 1.
+ *
+ * Coherence follows the paper's protocol: MESI write-invalidate,
+ * with requests first broadcast on the 4-core cluster bus and, when
+ * they cannot be satisfied within the cluster, broadcast to all other
+ * clusters over the global crossbar in parallel with the L2 lookup.
+ * Snoops occupy the snooped data cache for one cycle, stalling its
+ * core. Stores are buffered (weak consistency); non-allocating
+ * "Prepare For Store" requests take the upgrade path so no refill is
+ * read from memory.
+ *
+ * The same controller class, with coherence disabled, implements the
+ * streaming model's small 8 KB cache for stack/global data.
+ */
+
+#ifndef CMPMEM_MEM_L1_CONTROLLER_HH
+#define CMPMEM_MEM_L1_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l2_cache.hh"
+#include "mem/mshr.hh"
+#include "mem/store_buffer.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+class L1Controller;
+class StreamPrefetcher;
+
+/** Classification of first-level accesses (for stats and energy). */
+enum class AccessKind : std::uint8_t
+{
+    Load,
+    Store,
+    StorePfs, ///< non-allocating store (MIPS32 PrepareForStore style)
+    Atomic,
+    Prefetch,
+};
+
+/** Per-L1 counters consumed by the harness and the energy model. */
+struct L1Counters
+{
+    std::uint64_t loadHits = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;   ///< includes upgrades from S
+    std::uint64_t storeMerged = 0;   ///< coalesced into a pending entry
+    std::uint64_t pfsStores = 0;     ///< misses satisfied without refill
+    std::uint64_t atomicOps = 0;
+    std::uint64_t writebacks = 0;    ///< dirty victims pushed to L2
+    std::uint64_t fills = 0;
+    std::uint64_t snoopsReceived = 0;
+    std::uint64_t invalidationsReceived = 0;
+    std::uint64_t suppliesProvided = 0; ///< cache-to-cache transfers
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+
+    std::uint64_t demandAccesses() const
+    {
+        return loadHits + loadMisses + storeHits + storeMisses +
+               storeMerged + atomicOps;
+    }
+    std::uint64_t demandMisses() const { return loadMisses + storeMisses; }
+};
+
+/** Fabric-level counters (traffic and coherence activity). */
+struct FabricCounters
+{
+    std::uint64_t clusterRequests = 0;
+    std::uint64_t globalRequests = 0;
+    std::uint64_t snoopProbes = 0;
+    std::uint64_t localSupplies = 0;
+    std::uint64_t remoteSupplies = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t uncoreReads = 0;
+    std::uint64_t uncoreWrites = 0;
+    std::uint64_t remoteAtomics = 0;
+};
+
+/**
+ * The snooping coherence fabric / uncore.
+ *
+ * Owns the cluster buses and the crossbar; references the shared L2
+ * and the DRAM channel. All transaction timing walks live here, so
+ * L1 controllers and DMA engines stay simple clients.
+ */
+class CoherenceFabric
+{
+  public:
+    CoherenceFabric(const InterconnectConfig &net, int cores,
+                    int cluster_size, L2Cache &l2, DramChannel &dram);
+
+    /** L1s register in core-id order (CC model only). */
+    void registerL1(L1Controller *l1);
+
+    int clusterOf(int core_id) const { return core_id / clusterSize; }
+    int clusters() const { return numClusters; }
+    int cores() const { return numCores; }
+
+    /** Result of a line fetch: when, and with what final state. */
+    struct FetchResult
+    {
+        Tick done = 0;
+        bool othersRetainCopy = false; ///< install S rather than E
+    };
+
+    /**
+     * Fetch a line for core @p core_id starting at @p t.
+     *
+     * @param exclusive request ownership (read-for-ownership).
+     * @param coherent whether the requester participates in
+     *        coherence (false for the streaming model's 8 KB cache:
+     *        the walk skips all snooping).
+     */
+    FetchResult fetchLine(Tick t, int core_id, Addr line, bool exclusive,
+                          bool coherent);
+
+    /**
+     * Ownership upgrade (S -> M) or PFS allocate: broadcast
+     * invalidations only, no data transfer, no memory read.
+     */
+    Tick upgradeLine(Tick t, int core_id, Addr line);
+
+    /** Push a dirty victim line to the L2 (fire-and-forget timing). */
+    void writebackLine(Tick t, int core_id, Addr line);
+
+    /**
+     * Uncore read/write used by DMA engines and I-cache refills:
+     * cluster bus -> crossbar -> L2 (-> DRAM).
+     * @return completion tick (data at the cluster for reads).
+     */
+    Tick uncoreRead(Tick t, int cluster, Addr line, std::uint32_t bytes);
+    Tick uncoreWrite(Tick t, int cluster, Addr line, std::uint32_t bytes,
+                     bool full_line);
+
+    /**
+     * Streaming-model atomic executed at the shared L2 (Cell-style
+     * atomic unit): request to the L2 bank holding @p line and
+     * response back.
+     */
+    Tick remoteAtomic(Tick t, int cluster, Addr line);
+
+    LocalBus &bus(int cluster) { return *buses.at(cluster); }
+    Crossbar &crossbar() { return xbar; }
+    L2Cache &l2() { return l2cache; }
+    DramChannel &dram() { return dramChannel; }
+
+    const FabricCounters &counters() const { return stats; }
+    const InterconnectConfig &netConfig() const { return net; }
+
+  private:
+    /**
+     * Snoop every coherent L1 in @p cluster except @p requester.
+     * @return the id of a core that can supply the line, or -1;
+     *         dirty owners are recorded in @p supplier_was_dirty,
+     *         and @p supplier_was_owner reports an M/E (hence
+     *         provably unique) copy.
+     */
+    int snoopCluster(int cluster, int requester, Addr line,
+                     bool invalidate, bool &supplier_was_dirty,
+                     bool &supplier_was_owner, bool &others_retain);
+
+    InterconnectConfig net;
+    int numCores;
+    int clusterSize;
+    int numClusters;
+    L2Cache &l2cache;
+    DramChannel &dramChannel;
+    std::vector<std::unique_ptr<LocalBus>> buses;
+    Crossbar xbar;
+    std::vector<L1Controller *> l1s;
+    FabricCounters stats;
+};
+
+/** Configuration for one first-level cache controller. */
+struct L1Config
+{
+    CacheGeometry geom{32 * 1024, 2, 32};
+    bool coherent = true;
+    std::size_t mshrs = 64;
+    std::size_t storeBufferEntries = 8;
+    Tick cyclePeriod = 1250;  ///< owning core's clock period
+    Cycles hitLatency = 1;
+    Cycles atomicLatency = 3; ///< extra cycles for the RMW beat
+};
+
+/**
+ * One first-level data cache.
+ *
+ * The controller is callback-based: operations that complete
+ * immediately return true; operations that must wait invoke the
+ * supplied callback with the completion tick. The owning Core turns
+ * those callbacks into coroutine resumptions and stall accounting.
+ */
+class L1Controller
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    L1Controller(int core_id, const L1Config &cfg, EventQueue &eq,
+                 CoherenceFabric &fabric);
+
+    /** Attach a hardware prefetcher (CC model, when enabled). */
+    void setPrefetcher(StreamPrefetcher *pf) { prefetcher = pf; }
+
+    /**
+     * Issue a load at tick @p t.
+     * @return true on hit (completes in hitLatency); false when the
+     *         core must suspend until @p cb fires.
+     */
+    bool load(Tick t, Addr addr, Callback cb);
+
+    /**
+     * Issue a store at tick @p t. Returns true when the store retires
+     * into the cache or store buffer immediately; false when the
+     * store buffer is full and @p cb will fire once the store has
+     * been accepted.
+     * @param pfs non-allocating store: a miss allocates and validates
+     *        the line without reading memory.
+     */
+    bool store(Tick t, Addr addr, bool pfs, Callback cb);
+
+    /** Atomic read-modify-write; always completes via @p cb. */
+    void atomic(Tick t, Addr addr, Callback cb);
+
+    /**
+     * Software (bulk) prefetch of one line — the hybrid "bulk
+     * transfer primitive for cache-based systems" of the paper's
+     * Section 7. Fire-and-forget; duplicates and full MSHRs are
+     * dropped silently, exactly like a hardware prefetch.
+     */
+    void softwarePrefetch(Tick t, Addr addr);
+
+    /** Snoop from the fabric. */
+    struct SnoopResult
+    {
+        bool had = false;
+        bool dirty = false;
+        bool owned = false; ///< was Modified or Exclusive (unique)
+    };
+    SnoopResult snoop(Addr line, bool invalidate);
+
+    /**
+     * Account for dirty lines at the end of a run (write-backs that
+     * would eventually happen) so traffic totals are drain-invariant.
+     */
+    std::uint64_t drainDirty(Tick t);
+
+    /** Consume snoop-induced stall cycles accumulated since last call. */
+    Cycles takeSnoopStallCycles();
+
+    const L1Counters &counters() const { return stats; }
+    const L1Config &config() const { return cfg; }
+    const CacheArray &tags() const { return array; }
+    int coreId() const { return id; }
+
+    /** Line flag marking frames installed by the prefetcher. */
+    static constexpr std::uint8_t flagPrefetched = 0x1;
+
+  private:
+    friend class CoherenceFabric;
+
+    /** Start a fill transaction for @p line. */
+    void startFill(Tick t, Addr line, bool exclusive, AccessKind kind);
+
+    /** Issue a single prefetch fill if the line is not already here. */
+    void issuePrefetchLine(Tick t, Addr pf_line);
+
+    /** Install a fetched line; evicts and writes back as needed. */
+    void install(Tick t, Addr line, MesiState state, bool prefetched);
+
+    /** Issue/chain an ownership upgrade for a buffered store. */
+    void ensureOwnership(Tick t, Addr line);
+
+    /** Start a PFS allocate (invalidate-only) transaction. */
+    void startPfsAllocate(Tick t, Addr line);
+
+    void issuePrefetches(Tick t, Addr miss_line);
+
+    int id;
+    L1Config cfg;
+    EventQueue &eq;
+    CoherenceFabric &fabric;
+    CacheArray array;
+    MshrFile mshr;
+    StoreBuffer sb;
+    StreamPrefetcher *prefetcher = nullptr;
+    Cycles snoopStallCycles = 0;
+    L1Counters stats;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_MEM_L1_CONTROLLER_HH

@@ -1,0 +1,61 @@
+#include "mem/mshr.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+MshrFile::MshrFile(std::size_t capacity) : cap(capacity) {}
+
+bool
+MshrFile::outstanding(Addr line) const
+{
+    return entries.count(line) != 0;
+}
+
+void
+MshrFile::allocate(Addr line, bool exclusive)
+{
+    assert(!outstanding(line));
+    assert(available());
+    entries.emplace(line, Entry{exclusive, {}});
+    ++numAllocs;
+    peak = std::max<std::uint64_t>(peak, entries.size());
+}
+
+bool
+MshrFile::merge(Addr line, bool exclusive, Waiter waiter)
+{
+    auto it = entries.find(line);
+    assert(it != entries.end());
+    it->second.waiters.push_back(std::move(waiter));
+    ++numMerges;
+    return !exclusive || it->second.exclusive;
+}
+
+void
+MshrFile::addWaiter(Addr line, Waiter waiter)
+{
+    auto it = entries.find(line);
+    assert(it != entries.end());
+    it->second.waiters.push_back(std::move(waiter));
+}
+
+void
+MshrFile::complete(Addr line, Tick fill_tick)
+{
+    auto it = entries.find(line);
+    assert(it != entries.end());
+    // Move the waiters out first: a waiter may immediately issue a
+    // new miss to the same line.
+    std::vector<Waiter> waiters = std::move(it->second.waiters);
+    entries.erase(it);
+    for (auto &w : waiters)
+        w(fill_tick);
+}
+
+} // namespace cmpmem

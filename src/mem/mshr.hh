@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Miss Status Holding Registers: track outstanding line fills and
+ * merge secondary misses to the same line.
+ */
+
+#ifndef CMPMEM_MEM_MSHR_HH
+#define CMPMEM_MEM_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * MSHR file for a single cache.
+ *
+ * Since the paper's cores are in-order, "it is easy to provide
+ * sufficient MSHRs for the maximum possible number of concurrent
+ * misses"; the default capacity is therefore generous, but a limit is
+ * enforced and reported for fidelity.
+ */
+class MshrFile
+{
+  public:
+    using Waiter = std::function<void(Tick fill_tick)>;
+
+    explicit MshrFile(std::size_t capacity = 16);
+
+    /** Is there already an outstanding fill for this line? */
+    bool outstanding(Addr line) const;
+
+    /** Can a new miss be tracked right now? */
+    bool available() const { return entries.size() < cap; }
+
+    /**
+     * Register a primary miss. @pre !outstanding(line) && available().
+     * @param exclusive whether the fill requests exclusive ownership.
+     */
+    void allocate(Addr line, bool exclusive);
+
+    /**
+     * Attach a waiter to an outstanding fill. @pre outstanding(line).
+     * @return true if the existing fill satisfies @p exclusive intent
+     *         (a store merged onto a load fill returns false and the
+     *         caller must upgrade separately after the fill).
+     */
+    bool merge(Addr line, bool exclusive, Waiter waiter);
+
+    /** Attach a waiter to the primary miss itself. */
+    void addWaiter(Addr line, Waiter waiter);
+
+    /**
+     * Complete a fill: removes the entry and invokes all waiters with
+     * @p fill_tick.
+     */
+    void complete(Addr line, Tick fill_tick);
+
+    std::size_t inFlight() const { return entries.size(); }
+
+    std::uint64_t merges() const { return numMerges; }
+    std::uint64_t allocations() const { return numAllocs; }
+    std::uint64_t peakOccupancy() const { return peak; }
+
+  private:
+    struct Entry
+    {
+        bool exclusive = false;
+        std::vector<Waiter> waiters;
+    };
+
+    std::size_t cap;
+    std::unordered_map<Addr, Entry> entries;
+    std::uint64_t numMerges = 0;
+    std::uint64_t numAllocs = 0;
+    std::uint64_t peak = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_MEM_MSHR_HH

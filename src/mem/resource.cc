@@ -1,0 +1,104 @@
+#include "mem/resource.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace cmpmem
+{
+
+Resource::Resource(std::string name) : label(std::move(name)) {}
+
+void
+Resource::prune(Tick earliest)
+{
+    // Transactions are issued nearly in time order (bounded by the
+    // core quantum plus transaction depth), so reservations ending
+    // well before the current request can never conflict again.
+    if (earliest < pruneHorizon)
+        return;
+    Tick cutoff = earliest - pruneHorizon;
+    while (!busyList.empty() && busyList.front().end < cutoff)
+        busyList.pop_front();
+}
+
+Tick
+Resource::acquire(Tick earliest, Tick occupancy)
+{
+    ++count;
+    busy += occupancy;
+    prune(earliest);
+
+    if (occupancy == 0)
+        return std::max(earliest, Tick(0));
+
+    // First-fit gap search: transactions may reserve future slots
+    // (e.g. a response beat) without blocking the idle time before
+    // them.
+    Tick start = earliest;
+    auto pos = busyList.begin();
+    for (; pos != busyList.end(); ++pos) {
+        if (pos->end <= start)
+            continue;
+        if (pos->start >= start + occupancy)
+            break; // gap before this interval fits
+        start = pos->end;
+    }
+    waited += start - earliest;
+
+    // Insert (start, start+occupancy) before pos, merging neighbours.
+    Interval iv{start, start + occupancy};
+    auto it = busyList.insert(pos, iv);
+    if (it != busyList.begin()) {
+        auto prev = std::prev(it);
+        if (prev->end == it->start) {
+            prev->end = it->end;
+            it = busyList.erase(it);
+            it = std::prev(it);
+        }
+    }
+    auto next = std::next(it);
+    if (next != busyList.end() && it->end == next->start) {
+        it->end = next->end;
+        busyList.erase(next);
+    }
+    return start;
+}
+
+Tick
+Resource::nextFree() const
+{
+    return busyList.empty() ? 0 : busyList.back().end;
+}
+
+void
+Resource::reset()
+{
+    busyList.clear();
+    busy = 0;
+    waited = 0;
+    count = 0;
+}
+
+ChannelResource::ChannelResource(std::string name, std::uint32_t width_bytes,
+                                 Tick beat_ticks)
+    : Resource(std::move(name)), width(width_bytes), beat(beat_ticks)
+{
+    assert(width > 0 && beat > 0);
+}
+
+Tick
+ChannelResource::transferTicks(std::uint64_t bytes) const
+{
+    std::uint64_t beats = (bytes + width - 1) / width;
+    return beats * beat;
+}
+
+Tick
+ChannelResource::acquireTransfer(Tick earliest, std::uint64_t bytes)
+{
+    totalBytes += bytes;
+    return acquire(earliest, transferTicks(bytes));
+}
+
+} // namespace cmpmem

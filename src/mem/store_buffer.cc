@@ -1,0 +1,42 @@
+#include "mem/store_buffer.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace cmpmem
+{
+
+StoreBuffer::StoreBuffer(std::size_t capacity) : cap(capacity) {}
+
+void
+StoreBuffer::insert(Addr line)
+{
+    assert(!full());
+    assert(!contains(line));
+    lines.emplace(line, true);
+    ++numInserts;
+}
+
+void
+StoreBuffer::complete(Addr line, Tick when)
+{
+    auto it = lines.find(line);
+    assert(it != lines.end());
+    lines.erase(it);
+    if (spaceWaiter) {
+        SpaceWaiter w = std::move(spaceWaiter);
+        spaceWaiter = nullptr;
+        w(when);
+    }
+}
+
+void
+StoreBuffer::waitForSpace(SpaceWaiter waiter)
+{
+    assert(full());
+    assert(!spaceWaiter && "only one core can wait on its own buffer");
+    ++numFullStalls;
+    spaceWaiter = std::move(waiter);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-core store buffer.
+ *
+ * The paper's cores buffer store misses so that loads can bypass
+ * them ("Each core includes a store-buffer that allows loads to
+ * bypass store misses. As a result, the consistency model is weak.").
+ * A store that misses (or needs an upgrade) is parked here while its
+ * ownership transaction is in flight; the core only stalls when the
+ * buffer is full, and that time is the "Store" component of the
+ * paper's execution-time breakdown.
+ */
+
+#ifndef CMPMEM_MEM_STORE_BUFFER_HH
+#define CMPMEM_MEM_STORE_BUFFER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+class StoreBuffer
+{
+  public:
+    using SpaceWaiter = std::function<void(Tick)>;
+
+    explicit StoreBuffer(std::size_t capacity = 8);
+
+    bool full() const { return lines.size() >= cap; }
+    bool empty() const { return lines.empty(); }
+    std::size_t occupancy() const { return lines.size(); }
+
+    /** Is a buffered store to this line already pending? */
+    bool contains(Addr line) const { return lines.count(line) != 0; }
+
+    /**
+     * Park a store to @p line. Stores to a line already pending are
+     * merged by the caller (contains() check) and never reach here.
+     * @pre !full() && !contains(line)
+     */
+    void insert(Addr line);
+
+    /**
+     * The ownership transaction for @p line finished at @p when;
+     * free the entry and, if the core was blocked on a full buffer,
+     * wake it.
+     */
+    void complete(Addr line, Tick when);
+
+    /**
+     * Block until a slot frees. @pre full(). The waiter is invoked
+     * with the tick at which the slot became available.
+     */
+    void waitForSpace(SpaceWaiter waiter);
+
+    std::uint64_t inserts() const { return numInserts; }
+    std::uint64_t fullStalls() const { return numFullStalls; }
+
+  private:
+    std::size_t cap;
+    std::unordered_map<Addr, bool> lines;
+    SpaceWaiter spaceWaiter;
+    std::uint64_t numInserts = 0;
+    std::uint64_t numFullStalls = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_MEM_STORE_BUFFER_HH

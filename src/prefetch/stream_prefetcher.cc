@@ -1,0 +1,88 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include <algorithm>
+
+namespace cmpmem
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &c) : cfg(c)
+{
+    history.assign(cfg.historyEntries, 0);
+    streams.resize(cfg.streams);
+}
+
+void
+StreamPrefetcher::runAhead(Stream &s, Addr line, std::vector<Addr> &out)
+{
+    Addr target = line + Addr(cfg.depth) * cfg.lineBytes;
+    while (s.nextPrefetch <= target) {
+        out.push_back(s.nextPrefetch);
+        s.nextPrefetch += cfg.lineBytes;
+    }
+    s.lastUse = ++useClock;
+}
+
+std::vector<Addr>
+StreamPrefetcher::onMiss(Addr line)
+{
+    std::vector<Addr> out;
+
+    // Does the miss continue an existing stream?
+    for (auto &s : streams) {
+        if (s.valid && line == s.nextDemand) {
+            s.nextDemand = line + cfg.lineBytes;
+            runAhead(s, line, out);
+            return out;
+        }
+    }
+
+    // New stream? Look for the sequential predecessor in the miss
+    // history (two sequential misses establish a stream).
+    bool predecessor = false;
+    for (Addr h : history) {
+        if (h != 0 && h + cfg.lineBytes == line) {
+            predecessor = true;
+            break;
+        }
+    }
+
+    if (predecessor) {
+        // Allocate (LRU) a stream slot.
+        Stream *pick = &streams[0];
+        for (auto &s : streams) {
+            if (!s.valid) {
+                pick = &s;
+                break;
+            }
+            if (s.lastUse < pick->lastUse)
+                pick = &s;
+        }
+        pick->valid = true;
+        pick->nextDemand = line + cfg.lineBytes;
+        pick->nextPrefetch = line + cfg.lineBytes;
+        ++numStreams;
+        runAhead(*pick, line, out);
+    }
+
+    history[histPos] = line;
+    histPos = (histPos + 1) % history.size();
+    return out;
+}
+
+std::vector<Addr>
+StreamPrefetcher::onPrefetchHit(Addr line)
+{
+    std::vector<Addr> out;
+    for (auto &s : streams) {
+        if (s.valid && line == s.nextDemand) {
+            s.nextDemand = line + cfg.lineBytes;
+            runAhead(s, line, out);
+            return out;
+        }
+    }
+    // The tagged hit did not match a tracked head (stream replaced);
+    // ignore.
+    return out;
+}
+
+} // namespace cmpmem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Clock-domain helper converting between cycles and ticks.
+ */
+
+#ifndef CMPMEM_SIM_CLOCK_HH
+#define CMPMEM_SIM_CLOCK_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * Stores the period in picoseconds. 800 MHz -> 1250 ps, 1.6 GHz ->
+ * 625 ps, 3.2 GHz -> 312.5 ps (rounded to 312), 6.4 GHz -> 156 ps.
+ * The sub-picosecond rounding at the highest frequencies is below the
+ * resolution of any reported result.
+ */
+class Clock
+{
+  public:
+    Clock() : periodTicks(1250) {}
+
+    explicit Clock(Tick period) : periodTicks(period)
+    {
+        assert(period > 0);
+    }
+
+    /** Build a clock from a frequency in MHz. */
+    static Clock
+    fromMhz(double mhz)
+    {
+        return Clock(static_cast<Tick>(1e6 / mhz + 0.5));
+    }
+
+    Tick period() const { return periodTicks; }
+
+    double frequencyGhz() const { return 1000.0 / double(periodTicks); }
+
+    /** Convert a cycle count in this domain to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * periodTicks; }
+
+    /** Convert ticks to whole cycles in this domain (rounding up). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + periodTicks - 1) / periodTicks;
+    }
+
+    /** The first clock edge at or after tick @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % periodTicks;
+        return rem == 0 ? t : t + (periodTicks - rem);
+    }
+
+  private:
+    Tick periodTicks;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_CLOCK_HH

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace cmpmem
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(when >= curTick && "scheduling an event in the past");
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(maxTick);
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        // Move the callback out before popping so that callbacks may
+        // schedule new events without invalidating the one in flight.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        curTick = ev.when;
+        ++numExecuted;
+        ev.cb();
+    }
+    return curTick;
+}
+
+} // namespace cmpmem

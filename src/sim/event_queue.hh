@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The global discrete-event scheduler driving a simulation.
+ */
+
+#ifndef CMPMEM_SIM_EVENT_QUEUE_HH
+#define CMPMEM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * A single-threaded discrete-event queue ordered by (tick, sequence).
+ *
+ * Events scheduled for the same tick fire in scheduling order, which
+ * keeps the simulation deterministic. Callbacks may schedule further
+ * events, including at the current tick.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. Never decreases. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p cb to run at tick @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug
+     *      and asserts.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Run until the queue drains. @return the final tick reached. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * Events at ticks > limit remain queued.
+     */
+    Tick runUntil(Tick limit);
+
+    bool empty() const { return events.empty(); }
+
+    std::size_t pending() const { return events.size(); }
+
+    /** Total events executed so far (monotone; useful in tests). */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,70 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmpmem
+{
+
+namespace
+{
+bool quietMode = false;
+
+void
+vlog(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace cmpmem

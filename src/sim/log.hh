@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal logging in the gem5 spirit: fatal() for user errors,
+ * panic() for simulator bugs, warn()/inform() for status.
+ */
+
+#ifndef CMPMEM_SIM_LOG_HH
+#define CMPMEM_SIM_LOG_HH
+
+#include <cstdarg>
+
+namespace cmpmem
+{
+
+/** Print an error caused by bad user input/configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an internal-invariant violation and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and sweeps). */
+void setQuiet(bool quiet);
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_LOG_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small deterministic pseudo-random generator for workload inputs.
+ *
+ * Simulations must be bit-reproducible across runs and hosts, so the
+ * workloads never touch std::random_device or the unseeded global
+ * generators. xoshiro256** is tiny, fast, and has well-understood
+ * statistical quality.
+ */
+
+#ifndef CMPMEM_SIM_RNG_HH
+#define CMPMEM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cmpmem
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Bias is negligible for the bounds used by the workloads.
+        return next() % bound;
+    }
+
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next()); }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + nextDouble() * (hi - lo);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_RNG_HH

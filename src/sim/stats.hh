@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Hot paths increment plain integer members; at the end of a run each
+ * component exports its counters into a StatSet (an ordered
+ * name -> value map) which the harness aggregates and formats. This
+ * keeps the per-access cost of statistics at a single increment.
+ */
+
+#ifndef CMPMEM_SIM_STATS_HH
+#define CMPMEM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cmpmem
+{
+
+/**
+ * An ordered collection of named scalar statistics.
+ *
+ * Values are stored as doubles; integral counters fit exactly up to
+ * 2^53, far beyond any counter in this simulator's runs.
+ */
+class StatSet
+{
+  public:
+    /** Set (or overwrite) a statistic. */
+    void set(const std::string &name, double value);
+
+    /** Add to a statistic, creating it at zero if absent. */
+    void add(const std::string &name, double value);
+
+    /** @return the value, or @p dflt when absent. */
+    double get(const std::string &name, double dflt = 0.0) const;
+
+    bool has(const std::string &name) const;
+
+    /** Merge another set into this one by summation. */
+    void accumulate(const StatSet &other);
+
+    /** Names in insertion order. */
+    const std::vector<std::string> &names() const { return order; }
+
+    /** Render as aligned "name value" lines. */
+    std::string format() const;
+
+    /** Render as a flat JSON object (insertion order preserved). */
+    std::string toJson() const;
+
+    /** Render as two CSV lines: header and values. */
+    std::string toCsv() const;
+
+    void clear();
+
+  private:
+    std::map<std::string, double> values;
+    std::vector<std::string> order;
+};
+
+/**
+ * A simple fixed-bucket histogram for latency-style distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; @param buckets count. */
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t buckets = 64);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t count() const { return total; }
+    double mean() const;
+    std::uint64_t min() const { return total ? minSeen : 0; }
+    std::uint64_t max() const { return maxSeen; }
+
+    /** Smallest value v such that at least fraction p of samples <= v. */
+    std::uint64_t percentile(double p) const;
+
+    void clear();
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts; ///< last bucket catches overflow
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minSeen = ~std::uint64_t(0);
+    std::uint64_t maxSeen = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_STATS_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Coroutine plumbing for execution-driven workload kernels.
+ *
+ * Workload kernels are ordinary C++ algorithms written as C++20
+ * coroutines. Every simulated memory access or synchronization point
+ * is a co_await on an awaitable produced by the per-core Context; the
+ * coroutine suspends only when the simulated core actually blocks
+ * (miss, full store buffer, barrier, DMA wait, or a time-quantum
+ * flush), which keeps the hot hit path free of event-queue traffic.
+ */
+
+#ifndef CMPMEM_SIM_TASK_HH
+#define CMPMEM_SIM_TASK_HH
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace cmpmem
+{
+
+/**
+ * Return type of a workload kernel coroutine.
+ *
+ * The coroutine starts suspended; the owning Core resumes it to begin
+ * execution and checks done() after every resumption. The frame is
+ * kept alive at final suspension so done() is reliable; the KernelTask
+ * destructor destroys the frame.
+ */
+class KernelTask
+{
+  public:
+    struct promise_type
+    {
+        KernelTask
+        get_return_object()
+        {
+            return KernelTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+
+        void
+        unhandled_exception() noexcept
+        {
+            // A throwing kernel is a workload bug; there is no one to
+            // rethrow to inside the event loop, so fail loudly.
+            std::fprintf(stderr,
+                         "cmpmem: unhandled exception in kernel coroutine\n");
+            std::terminate();
+        }
+    };
+
+    KernelTask() = default;
+
+    explicit KernelTask(std::coroutine_handle<promise_type> handle)
+        : h(handle)
+    {}
+
+    KernelTask(KernelTask &&other) noexcept
+        : h(std::exchange(other.h, nullptr))
+    {}
+
+    KernelTask &
+    operator=(KernelTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h = std::exchange(other.h, nullptr);
+        }
+        return *this;
+    }
+
+    KernelTask(const KernelTask &) = delete;
+    KernelTask &operator=(const KernelTask &) = delete;
+
+    ~KernelTask() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(h); }
+
+    bool done() const { return !h || h.done(); }
+
+    /** Resume the kernel; must not be called once done(). */
+    void
+    resume()
+    {
+        assert(h && !h.done());
+        h.resume();
+    }
+
+    std::coroutine_handle<> handle() const { return h; }
+
+  private:
+    void
+    destroy()
+    {
+        if (h) {
+            h.destroy();
+            h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> h;
+};
+
+/**
+ * A nestable sub-coroutine: kernels can structure themselves as
+ * helper coroutines (e.g. `co_await dct8x8(ctx, block)`), with
+ * symmetric transfer so that resuming the leaf suspension resumes
+ * the whole chain.
+ *
+ * Usage: `Co<int> helper(Context &ctx) { ...; co_return 42; }` and
+ * `int v = co_await helper(ctx);` inside a KernelTask or another Co.
+ */
+template <typename T = void>
+class Co;
+
+namespace detail
+{
+
+struct CoPromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception() noexcept
+    {
+        std::fprintf(stderr,
+                     "cmpmem: unhandled exception in sub-coroutine\n");
+        std::terminate();
+    }
+};
+
+} // namespace detail
+
+template <typename T>
+class Co
+{
+  public:
+    struct promise_type : detail::CoPromiseBase
+    {
+        T result{};
+
+        Co
+        get_return_object()
+        {
+            return Co(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_value(T v) noexcept { result = std::move(v); }
+    };
+
+    explicit Co(std::coroutine_handle<promise_type> handle) : h(handle) {}
+    Co(Co &&other) noexcept : h(std::exchange(other.h, nullptr)) {}
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+    Co &operator=(Co &&) = delete;
+
+    ~Co()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        h.promise().continuation = cont;
+        return h;
+    }
+
+    T await_resume() { return std::move(h.promise().result); }
+
+  private:
+    std::coroutine_handle<promise_type> h;
+};
+
+template <>
+class Co<void>
+{
+  public:
+    struct promise_type : detail::CoPromiseBase
+    {
+        Co
+        get_return_object()
+        {
+            return Co(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() noexcept {}
+    };
+
+    explicit Co(std::coroutine_handle<promise_type> handle) : h(handle) {}
+    Co(Co &&other) noexcept : h(std::exchange(other.h, nullptr)) {}
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+    Co &operator=(Co &&) = delete;
+
+    ~Co()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        h.promise().continuation = cont;
+        return h;
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    std::coroutine_handle<promise_type> h;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_TASK_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every cmpmem module.
+ *
+ * The global time base is one picosecond per Tick. This lets the
+ * cycle-domain cores (800 MHz to 6.4 GHz) and the ns-domain uncore
+ * (2.2 ns L2, 2.5 ns crossbar, 70 ns DRAM) coexist without rounding
+ * surprises, exactly as the paper's Table 2 mixes the two domains.
+ */
+
+#ifndef CMPMEM_SIM_TYPES_HH
+#define CMPMEM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace cmpmem
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Simulated physical (flat, global) byte address. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per common engineering units. */
+constexpr Tick ticksPerNs = 1000;
+constexpr Tick ticksPerUs = 1000 * ticksPerNs;
+constexpr Tick ticksPerMs = 1000 * ticksPerUs;
+constexpr Tick ticksPerSec = 1000 * ticksPerMs;
+
+/** A tick value larger than any reachable simulation time. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** The two on-chip memory models compared by the paper (Table 1). */
+enum class MemModel
+{
+    CC,  ///< hardware-managed coherent cache-based memory
+    STR, ///< software-managed streaming (local store + DMA) memory
+};
+
+/** Short human-readable name for a memory model. */
+inline const char *
+to_string(MemModel m)
+{
+    return m == MemModel::CC ? "CC" : "STR";
+}
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_TYPES_HH

@@ -1,0 +1,220 @@
+#include "system/cmp_system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
+{
+    cfg.finalize();
+    cfg.validate();
+
+    dramChannel = std::make_unique<DramChannel>(cfg.dram);
+    l2cache = std::make_unique<L2Cache>(cfg.l2, *dramChannel);
+    fab = std::make_unique<CoherenceFabric>(cfg.net, cfg.cores,
+                                            cfg.clusterSize, *l2cache,
+                                            *dramChannel);
+
+    const Clock clock = cfg.coreClock();
+    const bool cc = (cfg.model == MemModel::CC);
+
+    for (int i = 0; i < cfg.cores; ++i) {
+        L1Config l1c;
+        l1c.geom.sizeBytes = cc ? cfg.ccL1SizeBytes
+                                : cfg.strCacheSizeBytes;
+        l1c.geom.assoc = cc ? cfg.ccL1Assoc : cfg.strCacheAssoc;
+        l1c.geom.lineBytes = cfg.lineBytes;
+        l1c.coherent = cc;
+        l1c.mshrs = cfg.mshrs;
+        l1c.storeBufferEntries = cfg.storeBufferEntries;
+        l1c.cyclePeriod = clock.period();
+        l1Vec.push_back(
+            std::make_unique<L1Controller>(i, l1c, eq, *fab));
+
+        if (cc && cfg.hwPrefetch) {
+            PrefetcherConfig pc;
+            pc.lineBytes = cfg.lineBytes;
+            pc.depth = cfg.prefetchDepth;
+            prefetchers.push_back(std::make_unique<StreamPrefetcher>(pc));
+            l1Vec.back()->setPrefetcher(prefetchers.back().get());
+        }
+
+        LocalStore *ls = nullptr;
+        DmaEngine *dma = nullptr;
+        if (!cc) {
+            lsVec.push_back(
+                std::make_unique<LocalStore>(cfg.lsSizeBytes));
+            ls = lsVec.back().get();
+            dmaVec.push_back(std::make_unique<DmaEngine>(
+                i, cfg.dma, *fab, fmem, *ls));
+            dma = dmaVec.back().get();
+        }
+
+        coreVec.push_back(std::make_unique<Core>(
+            i, eq, clock, cfg.model, l1Vec.back().get(),
+            ICacheModel(cfg.icache), ls, dma, fab.get(),
+            cfg.quantumCycles));
+        coreVec.back()->onFinish([this] { ++finishedCores; });
+
+        ctxVec.push_back(std::make_unique<Context>(
+            *coreVec.back(), fmem, i, cfg.cores, cfg.ctx));
+    }
+}
+
+CmpSystem::~CmpSystem() = default;
+
+void
+CmpSystem::bindKernel(int i, KernelTask task)
+{
+    coreVec.at(i)->bindKernel(std::move(task));
+}
+
+Tick
+CmpSystem::simulate()
+{
+    for (auto &core : coreVec)
+        core->start();
+
+    eq.run();
+
+    if (finishedCores != cfg.cores)
+        panic("deadlock: only %d of %d cores finished (a kernel is "
+              "waiting on an event that never fires)",
+              finishedCores, cfg.cores);
+
+    Tick finish = 0;
+    for (auto &core : coreVec)
+        finish = std::max(finish, core->finishTick());
+
+    // Drain epilogue: dirty first-level lines write back to the L2,
+    // then dirty L2 lines to DRAM, so traffic totals are invariant
+    // to where write-backs happen to be parked at the end of a run.
+    for (auto &l1 : l1Vec)
+        l1->drainDirty(finish);
+    l2cache->drainDirty();
+
+    return finish;
+}
+
+RunStats
+CmpSystem::collectStats() const
+{
+    RunStats rs;
+    rs.config = cfg;
+
+    for (const auto &core : coreVec) {
+        rs.perCore.push_back(core->stats());
+        const CoreStats &s = core->stats();
+        rs.coreTotal.usefulTicks += s.usefulTicks;
+        rs.coreTotal.syncTicks += s.syncTicks;
+        rs.coreTotal.loadStallTicks += s.loadStallTicks;
+        rs.coreTotal.storeStallTicks += s.storeStallTicks;
+        rs.coreTotal.bundles += s.bundles;
+        rs.coreTotal.fpBundles += s.fpBundles;
+        rs.coreTotal.loads += s.loads;
+        rs.coreTotal.stores += s.stores;
+        rs.coreTotal.atomics += s.atomics;
+        rs.coreTotal.lsReads += s.lsReads;
+        rs.coreTotal.lsWrites += s.lsWrites;
+        rs.coreTotal.dmaCommands += s.dmaCommands;
+        rs.coreTotal.barriers += s.barriers;
+
+        rs.execTicks = std::max(rs.execTicks, core->finishTick());
+
+        const ICacheModel &ic = core->icache();
+        rs.icacheFetches += ic.fetches();
+        rs.icacheMisses += ic.misses();
+    }
+
+    for (const auto &l1 : l1Vec) {
+        const L1Counters &c = l1->counters();
+        rs.l1Total.loadHits += c.loadHits;
+        rs.l1Total.loadMisses += c.loadMisses;
+        rs.l1Total.storeHits += c.storeHits;
+        rs.l1Total.storeMisses += c.storeMisses;
+        rs.l1Total.storeMerged += c.storeMerged;
+        rs.l1Total.pfsStores += c.pfsStores;
+        rs.l1Total.atomicOps += c.atomicOps;
+        rs.l1Total.writebacks += c.writebacks;
+        rs.l1Total.fills += c.fills;
+        rs.l1Total.snoopsReceived += c.snoopsReceived;
+        rs.l1Total.invalidationsReceived += c.invalidationsReceived;
+        rs.l1Total.suppliesProvided += c.suppliesProvided;
+        rs.l1Total.prefetchesIssued += c.prefetchesIssued;
+        rs.l1Total.prefetchesUseful += c.prefetchesUseful;
+    }
+
+    for (const auto &ls : lsVec) {
+        rs.lsReads += ls->coreReads();
+        rs.lsWrites += ls->coreWrites();
+    }
+    for (const auto &dma : dmaVec) {
+        rs.dmaAccesses += dma->counters().accesses;
+        rs.dmaBytesRead += dma->counters().bytesRead;
+        rs.dmaBytesWritten += dma->counters().bytesWritten;
+    }
+
+    rs.fabric = fab->counters();
+    for (int c = 0; c < fab->clusters(); ++c)
+        rs.busBytes += fab->bus(c).bytesMoved();
+    rs.xbarBytes = fab->crossbar().bytesMoved();
+
+    rs.l2Hits = l2cache->hits();
+    rs.l2Misses = l2cache->misses();
+    rs.l2RefillsAvoided = l2cache->refillsAvoided();
+
+    rs.dramReadBytes = dramChannel->readBytes();
+    rs.dramWriteBytes = dramChannel->writeBytes();
+    rs.dramBusyTicks = dramChannel->busyTicks();
+
+    return rs;
+}
+
+StatSet
+RunStats::toStatSet() const
+{
+    StatSet s;
+    s.set("exec_ticks", double(execTicks));
+    s.set("exec_seconds", execSeconds());
+    s.set("core.useful_ticks", double(coreTotal.usefulTicks));
+    s.set("core.sync_ticks", double(coreTotal.syncTicks));
+    s.set("core.load_stall_ticks", double(coreTotal.loadStallTicks));
+    s.set("core.store_stall_ticks", double(coreTotal.storeStallTicks));
+    s.set("core.instructions", double(coreTotal.instructions()));
+    s.set("core.loads", double(coreTotal.loads));
+    s.set("core.stores", double(coreTotal.stores));
+    s.set("core.atomics", double(coreTotal.atomics));
+    s.set("core.barriers", double(coreTotal.barriers));
+    s.set("core.dma_commands", double(coreTotal.dmaCommands));
+    s.set("icache.fetches", double(icacheFetches));
+    s.set("icache.misses", double(icacheMisses));
+    s.set("l1.load_hits", double(l1Total.loadHits));
+    s.set("l1.load_misses", double(l1Total.loadMisses));
+    s.set("l1.store_hits", double(l1Total.storeHits));
+    s.set("l1.store_misses", double(l1Total.storeMisses));
+    s.set("l1.pfs_stores", double(l1Total.pfsStores));
+    s.set("l1.writebacks", double(l1Total.writebacks));
+    s.set("l1.miss_rate", l1MissRate());
+    s.set("l1.snoops", double(l1Total.snoopsReceived));
+    s.set("l1.prefetches_issued", double(l1Total.prefetchesIssued));
+    s.set("l1.prefetches_useful", double(l1Total.prefetchesUseful));
+    s.set("ls.reads", double(lsReads));
+    s.set("ls.writes", double(lsWrites));
+    s.set("dma.accesses", double(dmaAccesses));
+    s.set("l2.hits", double(l2Hits));
+    s.set("l2.misses", double(l2Misses));
+    s.set("l2.miss_rate", l2MissRate());
+    s.set("l2.refills_avoided", double(l2RefillsAvoided));
+    s.set("net.bus_bytes", double(busBytes));
+    s.set("net.xbar_bytes", double(xbarBytes));
+    s.set("dram.read_bytes", double(dramReadBytes));
+    s.set("dram.write_bytes", double(dramWriteBytes));
+    s.set("dram.busy_ticks", double(dramBusyTicks));
+    s.set("offchip_bytes_per_sec", offChipBytesPerSec());
+    return s;
+}
+
+} // namespace cmpmem

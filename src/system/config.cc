@@ -1,0 +1,36 @@
+#include "system/config.hh"
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+void
+SystemConfig::validate() const
+{
+    if (cores < 1 || cores > 1024)
+        fatal("core count %d out of range", cores);
+    if (coreClockGhz <= 0)
+        fatal("core clock must be positive");
+    if (clusterSize < 1)
+        fatal("cluster size must be at least 1");
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+        fatal("line size must be a power of two");
+    if (dram.bandwidthGBps <= 0)
+        fatal("DRAM bandwidth must be positive");
+    if (hwPrefetch && model == MemModel::STR)
+        fatal("hardware prefetching applies to the cache-based model");
+    if (pfsEnabled && model == MemModel::STR)
+        fatal("PFS stores apply to the cache-based model");
+}
+
+void
+SystemConfig::finalize()
+{
+    ctx.pfsEnabled = pfsEnabled;
+    l2.lineBytes = lineBytes;
+    dram.granuleBytes = lineBytes;
+    dma.accessBytes = lineBytes;
+}
+
+} // namespace cmpmem

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's Table 2 in one struct.
+ */
+
+#ifndef CMPMEM_SYSTEM_CONFIG_HH
+#define CMPMEM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/context.hh"
+#include "core/icache_model.hh"
+#include "energy/energy_params.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l2_cache.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/clock.hh"
+#include "sim/types.hh"
+#include "stream/dma_engine.hh"
+
+namespace cmpmem
+{
+
+/**
+ * Configuration of a simulated CMP. Defaults are the bold values of
+ * the paper's Table 2 (16 Tensilica-LX-like cores at 800 MHz, CC
+ * model, 3.2 GB/s memory channel).
+ */
+struct SystemConfig
+{
+    int cores = 16;
+    double coreClockGhz = 0.8;
+    MemModel model = MemModel::CC;
+    int clusterSize = 4;
+
+    /** Hardware stream prefetcher (CC model; off unless stated). */
+    bool hwPrefetch = false;
+    std::uint32_t prefetchDepth = 4;
+
+    /** Honour non-allocating stores (PrepareForStore). */
+    bool pfsEnabled = false;
+
+    /** First-level data storage (constant capacity across models). */
+    std::uint32_t ccL1SizeBytes = 32 * 1024;
+    std::uint32_t ccL1Assoc = 2;
+    std::uint32_t strCacheSizeBytes = 8 * 1024;
+    std::uint32_t strCacheAssoc = 2;
+    std::uint32_t lsSizeBytes = 24 * 1024;
+    std::uint32_t lineBytes = 32;
+    std::size_t storeBufferEntries = 8;
+    std::size_t mshrs = 64;
+
+    /** Core-local/global time skew bound, in core cycles. */
+    Cycles quantumCycles = 100;
+
+    L2Config l2;
+    DramConfig dram;
+    InterconnectConfig net;
+    DmaConfig dma;
+    ICacheConfig icache;
+    ContextConfig ctx;
+    EnergyParams energy;
+
+    Clock coreClock() const { return Clock::fromMhz(coreClockGhz * 1000); }
+
+    int clusters() const
+    {
+        return (cores + clusterSize - 1) / clusterSize;
+    }
+
+    /** Sanity-check the configuration; calls fatal() on user error. */
+    void validate() const;
+
+    /** Fill dependent fields (ctx.pfsEnabled etc.) from top-level ones. */
+    void finalize();
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SYSTEM_CONFIG_HH

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * 179.art-like adaptive-resonance neural network, "parallelized
+ * across F1 neurons; this application is composed of several
+ * data-parallel vector operations and reductions between which we
+ * place barriers" (Section 4.2). The paper measures 10 invocations
+ * of the train-match function.
+ *
+ * Two cache-model variants reproduce Figure 10:
+ *  - orig (streamOptimized=false): the SPEC-like layout — an
+ *    array-of-structs neuron record and one pass per vector
+ *    operation with large temporary vectors, so every field access
+ *    touches its own cache line (sparse, stride-32 access);
+ *  - base (streamOptimized=true): "we reorganized the main data
+ *    structure ... and replaced several large temporary vectors with
+ *    scalar values by merging several loops": SoA layout + fused
+ *    passes. This reduced sparseness is also what lets hardware
+ *    prefetching work (Figure 7).
+ *
+ * The working set fits in the L2 (as in the paper: 7.4% L2 miss
+ * rate), making art latency- rather than bandwidth-bound.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr float kA = 0.5f;
+constexpr float kB = 0.3f;
+constexpr float kDecay = 0.9f;
+constexpr int kIterations = 10;
+
+/** AoS neuron record: one 32-byte cache line per neuron. */
+struct F1Neuron
+{
+    float i, w, x, u, v, p, t, pad;
+};
+static_assert(sizeof(F1Neuron) == 32);
+
+class ArtWorkload : public Workload
+{
+  public:
+    explicit ArtWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        // 20000 neurons: the AoS record array is 640 KB, so a
+        // 16-way-split per-core slice (40 KB) still exceeds the
+        // 32 KB L1 and the whole set exceeds the 512 KB L2 -- the
+        // SPEC 179.art regime where layout and fusion matter at
+        // every core count (Figure 10).
+        numF1 = p.scale > 0 ? 20000u * std::uint32_t(p.scale) : 1200u;
+        // Activation threshold: X values are normalized (they sum to
+        // one), so the threshold sits at the mean activation, letting
+        // roughly half the neurons through.
+        theta = 1.0f / float(numF1);
+    }
+
+    std::string name() const override { return "art"; }
+
+    double
+    icacheMpki(const SystemConfig &) const override
+    {
+        return prm.streamOptimized ? 0.15 : 0.1;
+    }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        nthreads = sys.cores();
+        // The streaming model always uses the blocked SoA layout;
+        // the AoS "orig" variant exists for the cache model only
+        // (Figure 10 compares CC-orig to CC-optimized).
+        soa = prm.streamOptimized ||
+              sys.config().model == MemModel::STR;
+        if (soa) {
+            aI = ArrayRef<float>::alloc(mem, numF1);
+            aW = ArrayRef<float>::alloc(mem, numF1);
+            aX = ArrayRef<float>::alloc(mem, numF1);
+            aU = ArrayRef<float>::alloc(mem, numF1);
+            aV = ArrayRef<float>::alloc(mem, numF1);
+            aP = ArrayRef<float>::alloc(mem, numF1);
+            aT = ArrayRef<float>::alloc(mem, numF1);
+        } else {
+            aos = ArrayRef<F1Neuron>::alloc(mem, numF1);
+        }
+        partials = ArrayRef<float>::alloc(mem, std::uint64_t(nthreads));
+        iterBar = std::make_unique<Barrier>(nthreads);
+
+        Rng rng(2026);
+        hostI.resize(numF1);
+        hostU.assign(numF1, 0.1f);
+        hostT.resize(numF1);
+        for (std::uint32_t i = 0; i < numF1; ++i) {
+            hostI[i] = float(rng.nextDouble(0.0, 1.0));
+            hostT[i] = float(rng.nextDouble(0.0, 0.5));
+            writeField(mem, i, FieldI, hostI[i]);
+            writeField(mem, i, FieldU, 0.1f);
+            writeField(mem, i, FieldT, hostT[i]);
+        }
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        if (ctx.model() == MemModel::STR)
+            return kernelStr(ctx);
+        return prm.streamOptimized ? kernelCcFused(ctx)
+                                   : kernelCcOrig(ctx);
+    }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        // Host reference replicating the exact arithmetic and the
+        // per-thread reduction order.
+        std::vector<float> U = hostU;
+        std::vector<float> T = hostT;
+        std::vector<float> W(numF1), X(numF1), V(numF1), P(numF1);
+        for (int it = 0; it < kIterations; ++it) {
+            std::vector<float> px(nthreads, 0.0f);
+            for (int tid = 0; tid < nthreads; ++tid) {
+                Range r = splitRange(numF1, tid, nthreads);
+                for (std::uint64_t i = r.begin; i < r.end; ++i) {
+                    W[i] = hostI[i] + kA * U[i];
+                    px[tid] += W[i];
+                }
+            }
+            float sumW = 0.0f;
+            for (int tid = 0; tid < nthreads; ++tid)
+                sumW += px[tid];
+            std::vector<float> pv(nthreads, 0.0f);
+            for (int tid = 0; tid < nthreads; ++tid) {
+                Range r = splitRange(numF1, tid, nthreads);
+                for (std::uint64_t i = r.begin; i < r.end; ++i) {
+                    X[i] = W[i] / sumW;
+                    V[i] = X[i] > theta ? X[i] : 0.0f;
+                    pv[tid] += V[i];
+                }
+            }
+            float sumV = 0.0f;
+            for (int tid = 0; tid < nthreads; ++tid)
+                sumV += pv[tid];
+            for (int tid = 0; tid < nthreads; ++tid) {
+                Range r = splitRange(numF1, tid, nthreads);
+                for (std::uint64_t i = r.begin; i < r.end; ++i) {
+                    U[i] = V[i] / sumV;
+                    P[i] = U[i] + kB * T[i];
+                    T[i] = T[i] * kDecay + (1.0f - kDecay) * P[i];
+                }
+            }
+        }
+
+        auto &mem = sys.mem();
+        for (std::uint32_t i = 0; i < numF1; ++i) {
+            float gotT = readField(mem, i, FieldT);
+            float gotU = readField(mem, i, FieldU);
+            if (gotT != T[i] || gotU != U[i]) {
+                warn("art mismatch at %u: T sim=%.9g host=%.9g, "
+                     "U sim=%.9g host=%.9g",
+                     i, gotT, T[i], gotU, U[i]);
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    enum Field
+    {
+        FieldI,
+        FieldW,
+        FieldX,
+        FieldU,
+        FieldV,
+        FieldP,
+        FieldT
+    };
+
+    Addr
+    fieldAddr(std::uint32_t i, Field f) const
+    {
+        if (soa) {
+            switch (f) {
+              case FieldI: return aI.at(i);
+              case FieldW: return aW.at(i);
+              case FieldX: return aX.at(i);
+              case FieldU: return aU.at(i);
+              case FieldV: return aV.at(i);
+              case FieldP: return aP.at(i);
+              case FieldT: return aT.at(i);
+            }
+        }
+        return aos.at(i) + Addr(f) * 4;
+    }
+
+    void
+    writeField(FunctionalMemory &mem, std::uint32_t i, Field f, float v)
+    {
+        mem.write<float>(fieldAddr(i, f), v);
+    }
+
+    float
+    readField(FunctionalMemory &mem, std::uint32_t i, Field f)
+    {
+        return mem.read<float>(fieldAddr(i, f));
+    }
+
+    /** Reduction: publish a partial, barrier, sum all partials. */
+    Co<float>
+    reduce(Context &ctx, float partial)
+    {
+        co_await ctx.store<float>(partials.at(ctx.tid()), partial);
+        co_await ctx.barrier(*iterBar);
+        float sum = 0.0f;
+        for (int t = 0; t < ctx.nthreads(); ++t)
+            sum += co_await ctx.load<float>(partials.at(t));
+        co_await ctx.computeFp(Cycles(ctx.nthreads()));
+        co_await ctx.barrier(*iterBar);
+        co_return sum;
+    }
+
+    /** Original: one pass per vector op over the AoS records. */
+    KernelTask
+    kernelCcOrig(Context &ctx)
+    {
+        Range r = splitRange(numF1, ctx.tid(), ctx.nthreads());
+        for (int it = 0; it < kIterations; ++it) {
+            // Pass 1: W = I + a*U
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto vi = co_await ctx.load<float>(fieldAddr(i, FieldI));
+                auto vu = co_await ctx.load<float>(fieldAddr(i, FieldU));
+                co_await ctx.computeFp(1);
+                co_await ctx.store<float>(fieldAddr(i, FieldW),
+                                          vi + kA * vu);
+            }
+            // Pass 2: reduce sum(W)
+            float px = 0.0f;
+            for (auto i = r.begin; i < r.end; ++i) {
+                px += co_await ctx.load<float>(fieldAddr(i, FieldW));
+                co_await ctx.computeFp(1);
+            }
+            float sumW = co_await reduce(ctx, px);
+            // Pass 3: X = W/sum
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto w = co_await ctx.load<float>(fieldAddr(i, FieldW));
+                co_await ctx.computeFp(2);
+                co_await ctx.store<float>(fieldAddr(i, FieldX),
+                                          w / sumW);
+            }
+            // Pass 4: V = threshold(X)
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto x = co_await ctx.load<float>(fieldAddr(i, FieldX));
+                co_await ctx.computeFp(1);
+                co_await ctx.store<float>(fieldAddr(i, FieldV),
+                                          x > theta ? x : 0.0f);
+            }
+            // Pass 5: reduce sum(V)
+            float pv = 0.0f;
+            for (auto i = r.begin; i < r.end; ++i) {
+                pv += co_await ctx.load<float>(fieldAddr(i, FieldV));
+                co_await ctx.computeFp(1);
+            }
+            float sumV = co_await reduce(ctx, pv);
+            // Pass 6: U = V/sumV
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto v = co_await ctx.load<float>(fieldAddr(i, FieldV));
+                co_await ctx.computeFp(2);
+                co_await ctx.store<float>(fieldAddr(i, FieldU),
+                                          v / sumV);
+            }
+            // Pass 7: P = U + b*T
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto u = co_await ctx.load<float>(fieldAddr(i, FieldU));
+                auto t = co_await ctx.load<float>(fieldAddr(i, FieldT));
+                co_await ctx.computeFp(1);
+                co_await ctx.store<float>(fieldAddr(i, FieldP),
+                                          u + kB * t);
+            }
+            // Pass 8: T = decay(T, P)
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto t = co_await ctx.load<float>(fieldAddr(i, FieldT));
+                auto p = co_await ctx.load<float>(fieldAddr(i, FieldP));
+                co_await ctx.computeFp(2);
+                co_await ctx.store<float>(
+                    fieldAddr(i, FieldT),
+                    t * kDecay + (1.0f - kDecay) * p);
+            }
+            co_await ctx.barrier(*iterBar);
+        }
+    }
+
+    /** Stream-optimized: SoA + fused passes + scalar temporaries. */
+    KernelTask
+    kernelCcFused(Context &ctx)
+    {
+        Range r = splitRange(numF1, ctx.tid(), ctx.nthreads());
+        for (int it = 0; it < kIterations; ++it) {
+            float px = 0.0f;
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto vi = co_await ctx.load<float>(aI.at(i));
+                auto vu = co_await ctx.load<float>(aU.at(i));
+                co_await ctx.computeFp(2);
+                float w = vi + kA * vu;
+                co_await ctx.store<float>(aW.at(i), w);
+                px += w;
+            }
+            float sumW = co_await reduce(ctx, px);
+
+            float pv = 0.0f;
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto w = co_await ctx.load<float>(aW.at(i));
+                co_await ctx.computeFp(3);
+                float x = w / sumW;
+                float v = x > theta ? x : 0.0f;
+                co_await ctx.store<float>(aX.at(i), x);
+                co_await ctx.store<float>(aV.at(i), v);
+                pv += v;
+            }
+            float sumV = co_await reduce(ctx, pv);
+
+            for (auto i = r.begin; i < r.end; ++i) {
+                auto v = co_await ctx.load<float>(aV.at(i));
+                auto t = co_await ctx.load<float>(aT.at(i));
+                co_await ctx.computeFp(4);
+                float u = v / sumV;
+                float p = u + kB * t;
+                co_await ctx.store<float>(aU.at(i), u);
+                co_await ctx.store<float>(aP.at(i), p);
+                co_await ctx.store<float>(
+                    aT.at(i), t * kDecay + (1.0f - kDecay) * p);
+            }
+            co_await ctx.barrier(*iterBar);
+        }
+    }
+
+    /** Streaming: SoA + fused, with double-buffered DMA blocks. */
+    KernelTask
+    kernelStr(Context &ctx)
+    {
+        constexpr std::uint32_t blk = 512; // elements per DMA block
+        Range r = splitRange(numF1, ctx.tid(), ctx.nthreads());
+        // Local-store layout: one block per array stream in flight.
+        const std::uint32_t lsA = 0;        // first input stream
+        const std::uint32_t lsB = blk * 4;  // second input stream
+        const std::uint32_t lsC = 2 * blk * 4; // output stream
+        const std::uint32_t lsD = 3 * blk * 4; // second output stream
+        const std::uint32_t lsE = 4 * blk * 4; // third output stream
+
+        auto blockElems = [&](std::uint64_t base) {
+            return std::uint32_t(
+                std::min<std::uint64_t>(blk, r.end - base));
+        };
+
+        for (int it = 0; it < kIterations; ++it) {
+            float px = 0.0f;
+            for (auto base = r.begin; base < r.end; base += blk) {
+                std::uint32_t m = blockElems(base);
+                auto g1 = co_await ctx.dmaGet(aI.at(base), lsA, m * 4);
+                auto g2 = co_await ctx.dmaGet(aU.at(base), lsB, m * 4);
+                co_await ctx.dmaWait(g1);
+                co_await ctx.dmaWait(g2);
+                for (std::uint32_t i = 0; i < m; ++i) {
+                    auto vi = co_await ctx.lsRead<float>(lsA + i * 4);
+                    auto vu = co_await ctx.lsRead<float>(lsB + i * 4);
+                    co_await ctx.computeFp(2);
+                    float w = vi + kA * vu;
+                    co_await ctx.lsWrite<float>(lsC + i * 4, w);
+                    px += w;
+                }
+                auto pt = co_await ctx.dmaPut(aW.at(base), lsC, m * 4);
+                co_await ctx.dmaWait(pt);
+            }
+            float sumW = co_await reduce(ctx, px);
+
+            float pv = 0.0f;
+            for (auto base = r.begin; base < r.end; base += blk) {
+                std::uint32_t m = blockElems(base);
+                auto g1 = co_await ctx.dmaGet(aW.at(base), lsA, m * 4);
+                co_await ctx.dmaWait(g1);
+                for (std::uint32_t i = 0; i < m; ++i) {
+                    auto w = co_await ctx.lsRead<float>(lsA + i * 4);
+                    co_await ctx.computeFp(3);
+                    float x = w / sumW;
+                    float v = x > theta ? x : 0.0f;
+                    co_await ctx.lsWrite<float>(lsC + i * 4, x);
+                    co_await ctx.lsWrite<float>(lsD + i * 4, v);
+                    pv += v;
+                }
+                auto p1 = co_await ctx.dmaPut(aX.at(base), lsC, m * 4);
+                auto p2 = co_await ctx.dmaPut(aV.at(base), lsD, m * 4);
+                co_await ctx.dmaWait(p1);
+                co_await ctx.dmaWait(p2);
+            }
+            float sumV = co_await reduce(ctx, pv);
+
+            for (auto base = r.begin; base < r.end; base += blk) {
+                std::uint32_t m = blockElems(base);
+                auto g1 = co_await ctx.dmaGet(aV.at(base), lsA, m * 4);
+                auto g2 = co_await ctx.dmaGet(aT.at(base), lsB, m * 4);
+                co_await ctx.dmaWait(g1);
+                co_await ctx.dmaWait(g2);
+                for (std::uint32_t i = 0; i < m; ++i) {
+                    auto v = co_await ctx.lsRead<float>(lsA + i * 4);
+                    auto t = co_await ctx.lsRead<float>(lsB + i * 4);
+                    co_await ctx.computeFp(4);
+                    float u = v / sumV;
+                    float p = u + kB * t;
+                    co_await ctx.lsWrite<float>(lsC + i * 4, u);
+                    co_await ctx.lsWrite<float>(lsD + i * 4, p);
+                    co_await ctx.lsWrite<float>(
+                        lsE + i * 4, t * kDecay + (1.0f - kDecay) * p);
+                }
+                auto p1 = co_await ctx.dmaPut(aU.at(base), lsC, m * 4);
+                auto p2 = co_await ctx.dmaPut(aP.at(base), lsD, m * 4);
+                auto p3 = co_await ctx.dmaPut(aT.at(base), lsE, m * 4);
+                co_await ctx.dmaWait(p1);
+                co_await ctx.dmaWait(p2);
+                co_await ctx.dmaWait(p3);
+            }
+            co_await ctx.barrier(*iterBar);
+        }
+    }
+
+    std::uint32_t numF1;
+    float theta = 0.0f;
+    int nthreads = 1;
+    bool soa = true;
+    ArrayRef<F1Neuron> aos;
+    ArrayRef<float> aI, aW, aX, aU, aV, aP, aT;
+    ArrayRef<float> partials;
+    std::unique_ptr<Barrier> iterBar;
+    std::vector<float> hostI, hostU, hostT;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeArt(const WorkloadParams &p)
+{
+    return std::make_unique<ArtWorkload>(p);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * 2D Finite Element Method, "parallelized across mesh cells"
+ * (Table 3): an explicit edge-flux relaxation over an irregular
+ * planar mesh in CSR adjacency form. A scientific code with "about
+ * the same compute intensity as multimedia applications"
+ * (Section 4.2); its per-iteration state streams through the L2
+ * (high L2 miss rate, several hundred MB/s of off-chip bandwidth in
+ * Table 3), and its off-chip traffic is nearly identical across the
+ * two models (Figure 3), making the energy difference insignificant
+ * (Figure 4).
+ *
+ *  - CC: cell-centric gather (sequential cell state + indexed
+ *    neighbor loads), Jacobi double-buffering, barrier per sweep.
+ *  - STR: blocks of cells DMA'd in; neighbor values fetched with
+ *    *indexed* DMA gathers built from the local copy of the
+ *    adjacency lists (the gather/scatter DMA mode of Table 2).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr int kIterations = 8;
+constexpr float kDt = 0.12f;
+constexpr float kK = 0.9f;
+
+class FemWorkload : public Workload
+{
+  public:
+    explicit FemWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        width = p.scale > 0 ? 200 * p.scale : 64;
+        height = p.scale > 0 ? 200 * p.scale : 64;
+        cells = std::uint32_t(width) * std::uint32_t(height);
+    }
+
+    std::string name() const override { return "fem"; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        nthreads = sys.cores();
+
+        // Build an irregular 4-neighbourhood mesh: a grid with ~15%
+        // of edges knocked out so that degrees vary from 1 to 4.
+        Rng rng(4242);
+        hostAdjOff.assign(cells + 1, 0);
+        std::vector<std::vector<std::uint32_t>> nbrs(cells);
+        auto cellAt = [&](int x, int y) {
+            return std::uint32_t(y) * std::uint32_t(width) +
+                   std::uint32_t(x);
+        };
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                std::uint32_t c = cellAt(x, y);
+                if (x + 1 < width && rng.nextDouble() > 0.15) {
+                    nbrs[c].push_back(cellAt(x + 1, y));
+                    nbrs[cellAt(x + 1, y)].push_back(c);
+                }
+                if (y + 1 < height && rng.nextDouble() > 0.15) {
+                    nbrs[c].push_back(cellAt(x, y + 1));
+                    nbrs[cellAt(x, y + 1)].push_back(c);
+                }
+            }
+        }
+        hostAdj.clear();
+        for (std::uint32_t c = 0; c < cells; ++c) {
+            hostAdjOff[c] = std::uint32_t(hostAdj.size());
+            for (auto nb : nbrs[c])
+                hostAdj.push_back(nb);
+        }
+        hostAdjOff[cells] = std::uint32_t(hostAdj.size());
+
+        uA = ArrayRef<float>::alloc(mem, cells);
+        uB = ArrayRef<float>::alloc(mem, cells);
+        adjOff = ArrayRef<std::uint32_t>::alloc(mem, cells + 1);
+        adj = ArrayRef<std::uint32_t>::alloc(mem, hostAdj.size());
+        sweepBar = std::make_unique<Barrier>(nthreads);
+
+        hostU.resize(cells);
+        for (std::uint32_t c = 0; c < cells; ++c) {
+            hostU[c] = float(rng.nextDouble(0.0, 100.0));
+            mem.write<float>(uA.at(c), hostU[c]);
+        }
+        for (std::uint32_t c = 0; c <= cells; ++c)
+            mem.write<std::uint32_t>(adjOff.at(c), hostAdjOff[c]);
+        for (std::size_t e = 0; e < hostAdj.size(); ++e)
+            mem.write<std::uint32_t>(adj.at(e), hostAdj[e]);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        if (ctx.model() == MemModel::STR)
+            return kernelStr(ctx);
+        return kernelCc(ctx);
+    }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        std::vector<float> u = hostU;
+        std::vector<float> next(cells);
+        for (int it = 0; it < kIterations; ++it) {
+            for (std::uint32_t c = 0; c < cells; ++c) {
+                float acc = 0.0f;
+                for (std::uint32_t e = hostAdjOff[c];
+                     e < hostAdjOff[c + 1]; ++e)
+                    acc += kK * (u[hostAdj[e]] - u[c]);
+                next[c] = u[c] + kDt * acc;
+            }
+            std::swap(u, next);
+        }
+        const ArrayRef<float> &result =
+            (kIterations % 2 == 0) ? uA : uB;
+        auto &mem = sys.mem();
+        for (std::uint32_t c = 0; c < cells; ++c) {
+            if (mem.read<float>(result.at(c)) != u[c])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    KernelTask
+    kernelCc(Context &ctx)
+    {
+        Range r = splitRange(cells, ctx.tid(), ctx.nthreads());
+        for (int it = 0; it < kIterations; ++it) {
+            const ArrayRef<float> &src = (it % 2 == 0) ? uA : uB;
+            const ArrayRef<float> &dst = (it % 2 == 0) ? uB : uA;
+            for (auto c = r.begin; c < r.end; ++c) {
+                auto off0 =
+                    co_await ctx.load<std::uint32_t>(adjOff.at(c));
+                auto off1 =
+                    co_await ctx.load<std::uint32_t>(adjOff.at(c + 1));
+                auto uc = co_await ctx.load<float>(src.at(c));
+                float acc = 0.0f;
+                for (std::uint32_t e = off0; e < off1; ++e) {
+                    auto nb =
+                        co_await ctx.load<std::uint32_t>(adj.at(e));
+                    auto un = co_await ctx.load<float>(src.at(nb));
+                    // Edge flux: geometric factors + the update.
+                    co_await ctx.computeFp(9);
+                    acc += kK * (un - uc);
+                }
+                co_await ctx.computeFp(14);
+                co_await ctx.storeNA<float>(dst.at(c),
+                                            uc + kDt * acc);
+            }
+            co_await ctx.barrier(*sweepBar);
+        }
+    }
+
+    KernelTask
+    kernelStr(Context &ctx)
+    {
+        constexpr std::uint32_t blk = 256; // cells per block
+        Range r = splitRange(cells, ctx.tid(), ctx.nthreads());
+
+        // Local-store layout.
+        const std::uint32_t lsU = 0;              // block cell values
+        const std::uint32_t lsOff = blk * 4;      // adjOff block (+1)
+        const std::uint32_t lsAdj = lsOff + (blk + 1) * 4;
+        const std::uint32_t maxAdj = blk * 4;     // degree <= 4
+        const std::uint32_t lsNbr = lsAdj + maxAdj * 4;
+        const std::uint32_t lsOut = lsNbr + maxAdj * 4;
+
+        for (int it = 0; it < kIterations; ++it) {
+            const ArrayRef<float> &src = (it % 2 == 0) ? uA : uB;
+            const ArrayRef<float> &dst = (it % 2 == 0) ? uB : uA;
+            for (auto base = r.begin; base < r.end; base += blk) {
+                std::uint32_t m = std::uint32_t(
+                    std::min<std::uint64_t>(blk, r.end - base));
+
+                auto g1 = co_await ctx.dmaGet(src.at(base), lsU, m * 4);
+                auto g2 = co_await ctx.dmaGet(adjOff.at(base), lsOff,
+                                              (m + 1) * 4);
+                co_await ctx.dmaWait(g2);
+
+                // Build the gather list from the local adjacency
+                // offsets, then fetch lists and neighbor values with
+                // indexed DMA.
+                auto e0 = co_await ctx.lsRead<std::uint32_t>(lsOff);
+                auto e1 = co_await ctx.lsRead<std::uint32_t>(
+                    lsOff + m * 4);
+                std::uint32_t edges = e1 - e0;
+                auto g3 = co_await ctx.dmaGet(adj.at(e0), lsAdj,
+                                              edges * 4);
+                co_await ctx.dmaWait(g3);
+
+                std::vector<Addr> gatherAddrs;
+                gatherAddrs.reserve(edges);
+                for (std::uint32_t e = 0; e < edges; ++e) {
+                    auto nb = co_await ctx.lsRead<std::uint32_t>(
+                        lsAdj + e * 4);
+                    gatherAddrs.push_back(src.at(nb));
+                }
+                auto g4 = co_await ctx.dmaGetIndexed(gatherAddrs, 4,
+                                                     lsNbr);
+                co_await ctx.dmaWait(g1);
+                co_await ctx.dmaWait(g4);
+
+                for (std::uint32_t c = 0; c < m; ++c) {
+                    auto off0 = co_await ctx.lsRead<std::uint32_t>(
+                        lsOff + c * 4);
+                    auto off1 = co_await ctx.lsRead<std::uint32_t>(
+                        lsOff + (c + 1) * 4);
+                    auto uc =
+                        co_await ctx.lsRead<float>(lsU + c * 4);
+                    float acc = 0.0f;
+                    for (std::uint32_t e = off0 - e0; e < off1 - e0;
+                         ++e) {
+                        auto un = co_await ctx.lsRead<float>(
+                            lsNbr + e * 4);
+                        co_await ctx.computeFp(9);
+                        acc += kK * (un - uc);
+                    }
+                    co_await ctx.computeFp(14);
+                    co_await ctx.lsWrite<float>(lsOut + c * 4,
+                                                uc + kDt * acc);
+                }
+                auto pt = co_await ctx.dmaPut(dst.at(base), lsOut,
+                                              m * 4);
+                co_await ctx.dmaWait(pt);
+            }
+            co_await ctx.barrier(*sweepBar);
+        }
+    }
+
+    int width;
+    int height;
+    std::uint32_t cells;
+    int nthreads = 1;
+    ArrayRef<float> uA, uB;
+    ArrayRef<std::uint32_t> adjOff, adj;
+    std::unique_ptr<Barrier> sweepBar;
+    std::vector<std::uint32_t> hostAdjOff, hostAdj;
+    std::vector<float> hostU;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFem(const WorkloadParams &p)
+{
+    return std::make_unique<FemWorkload>(p);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * H.264 encoder ("H.2" in the paper's garbled tables): "we schedule
+ * the processing of dependent macroblocks so as to minimize the
+ * length of the critical execution path. With the CIF resolution
+ * video frames we encode for this study, the macroblock parallelism
+ * available in H.264 is limited" (Section 4.2) — at 16 cores it
+ * shows synchronization stalls with both models (Figure 2).
+ *
+ * Intra-prediction makes macroblock (r, c) depend on its left, top,
+ * and top-right reconstructed neighbours, giving the classic 2:1
+ * wavefront: wave w contains MBs with c + 2r == w, at most ~10 ready
+ * MBs per wave for our frame size. Reconstructed edge pixels are
+ * *shared* data: cores communicate through them (coherence traffic
+ * in CC; explicit small DMA gathers in STR — exactly the irregular,
+ * fine-grained communication the paper says burdens streaming).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr int kW = 320;
+constexpr int kH = 192;
+constexpr int kMb = 16;
+constexpr int kMbX = kW / kMb;
+constexpr int kMbY = kH / kMb;
+constexpr int kWaves = (kMbX - 1) + 2 * (kMbY - 1) + 1;
+constexpr Cycles kPredCycles = 48;
+constexpr Cycles kXformCycles = 110;
+constexpr Cycles kQuantCycles = 40;
+/** Rate-distortion intra mode evaluation: 9 prediction modes over
+ *  sixteen 4x4 sub-blocks, each a SATD plus mode bookkeeping. This
+ *  dominates H.264 encode compute (Table 3 shows 3705 instructions
+ *  per L1 miss -- the most compute-intense codec in the suite). */
+constexpr Cycles kModeSearchCycles = 9 * 16 * 70;
+
+int
+quantShift(int k)
+{
+    return 2 + ((k % 8) + (k / 8)) / 3;
+}
+
+class H264Workload : public Workload
+{
+  public:
+    explicit H264Workload(const WorkloadParams &p) : Workload(p)
+    {
+        frames = p.scale > 0 ? 2 * p.scale : 1;
+    }
+
+    std::string name() const override { return "h264"; }
+
+    double icacheMpki(const SystemConfig &) const override { return 0.8; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        nthreads = sys.cores();
+        const std::uint64_t frame = std::uint64_t(kW) * kH;
+        pixels = ArrayRef<std::uint8_t>::alloc(mem, frame * frames);
+        recon = ArrayRef<std::uint8_t>::alloc(mem, frame * frames);
+        coefOut = ArrayRef<std::int16_t>::alloc(
+            mem, std::uint64_t(256) * kMbX * kMbY * frames);
+        counters = ArrayRef<std::uint32_t>::alloc(
+            mem, std::uint64_t(kWaves) * frames);
+        waveBar = std::make_unique<Barrier>(nthreads);
+
+        Rng rng(808);
+        hostPix.resize(frame * frames);
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            for (int y = 0; y < kH; ++y) {
+                for (int x = 0; x < kW; ++x) {
+                    int v = ((x * 11) ^ (y * 5)) & 0x7f;
+                    v += int(f) * 4 + int(rng.nextBelow(6));
+                    hostPix[std::uint64_t(f) * frame +
+                            std::uint64_t(y) * kW + x] =
+                        std::uint8_t(v & 0xff);
+                }
+            }
+        }
+        for (std::uint64_t i = 0; i < hostPix.size(); ++i)
+            mem.write<std::uint8_t>(pixels.at(i), hostPix[i]);
+        for (std::uint32_t c = 0; c < kWaves * frames; ++c)
+            mem.write<std::uint32_t>(counters.at(c), 0);
+
+        buildHostReference();
+    }
+
+    KernelTask kernel(Context &ctx) override { return kern(ctx); }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        for (std::uint64_t i = 0; i < hostRecon.size(); ++i) {
+            if (mem.read<std::uint8_t>(recon.at(i)) != hostRecon[i])
+                return false;
+        }
+        for (std::uint64_t i = 0; i < hostCoefs.size(); ++i) {
+            if (mem.read<std::int16_t>(coefOut.at(i)) != hostCoefs[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t
+    pix(std::uint32_t f, int x, int y) const
+    {
+        return (std::uint64_t(f) * kH + std::uint64_t(y)) * kW +
+               std::uint64_t(x);
+    }
+
+    static std::uint8_t
+    clampPix(int v)
+    {
+        return std::uint8_t(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+
+    /**
+     * Encode one MB given its reconstructed neighbours; shared by
+     * the host reference and (for values) the simulated kernel.
+     */
+    void
+    encodeMbMath(std::uint32_t f, int mbx, int mby,
+                 const std::vector<std::uint8_t> &recon_frame,
+                 std::int16_t *coefs, std::uint8_t *out_recon) const
+    {
+        const std::uint64_t frame = std::uint64_t(kW) * kH;
+        // DC intra prediction from the top row and left column of
+        // reconstructed neighbours (128 at frame edges).
+        int sum = 0;
+        int cnt = 0;
+        if (mby > 0) {
+            for (int x = 0; x < kMb; ++x) {
+                sum += recon_frame[std::uint64_t(f) * frame +
+                                   std::uint64_t(mby * kMb - 1) * kW +
+                                   mbx * kMb + x];
+                ++cnt;
+            }
+        }
+        if (mbx > 0) {
+            for (int y = 0; y < kMb; ++y) {
+                sum += recon_frame[std::uint64_t(f) * frame +
+                                   std::uint64_t(mby * kMb + y) * kW +
+                                   mbx * kMb - 1];
+                ++cnt;
+            }
+        }
+        int pred = cnt ? (sum + cnt / 2) / cnt : 128;
+
+        // Residual, transform, quantize, reconstruct.
+        for (int b = 0; b < 4; ++b) {
+            int bx = mbx * kMb + (b % 2) * 8;
+            int by = mby * kMb + (b / 2) * 8;
+            std::int32_t blk[64];
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    blk[y * 8 + x] =
+                        int(hostPix[pix(f, bx + x, by + y)]) - pred;
+            forwardTransform8x8(blk);
+            std::int32_t deq[64];
+            for (int k = 0; k < 64; ++k) {
+                auto q = std::int16_t(blk[k] >> quantShift(k));
+                coefs[b * 64 + k] = q;
+                deq[k] = std::int32_t(q) << quantShift(k);
+            }
+            inverseTransform8x8(deq);
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    out_recon[((b / 2) * 8 + y) * kMb + (b % 2) * 8 +
+                              x] = clampPix(deq[y * 8 + x] + pred);
+                }
+            }
+        }
+    }
+
+    void
+    buildHostReference()
+    {
+        const std::uint64_t frame = std::uint64_t(kW) * kH;
+        hostRecon.assign(frame * frames, 0);
+        hostCoefs.assign(std::uint64_t(256) * kMbX * kMbY * frames, 0);
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            for (int mby = 0; mby < kMbY; ++mby) {
+                for (int mbx = 0; mbx < kMbX; ++mbx) {
+                    std::int16_t coefs[256];
+                    std::uint8_t rec[256];
+                    encodeMbMath(f, mbx, mby, hostRecon, coefs, rec);
+                    std::uint64_t ci =
+                        ((std::uint64_t(f) * kMbY + mby) * kMbX +
+                         mbx) *
+                        256;
+                    for (int k = 0; k < 256; ++k)
+                        hostCoefs[ci + k] = coefs[k];
+                    for (int y = 0; y < kMb; ++y)
+                        for (int x = 0; x < kMb; ++x)
+                            hostRecon[pix(f, mbx * kMb + x,
+                                          mby * kMb + y)] =
+                                rec[y * kMb + x];
+                }
+            }
+        }
+    }
+
+    /** MBs on wave w: c + 2r == w. */
+    static int
+    waveSize(int w)
+    {
+        int count = 0;
+        for (int r = 0; r <= std::min(w / 2, kMbY - 1); ++r) {
+            int c = w - 2 * r;
+            if (c >= 0 && c < kMbX)
+                ++count;
+        }
+        return count;
+    }
+
+    static void
+    waveMb(int w, int idx, int &mbx, int &mby)
+    {
+        int seen = 0;
+        for (int r = 0; r <= std::min(w / 2, kMbY - 1); ++r) {
+            int c = w - 2 * r;
+            if (c >= 0 && c < kMbX) {
+                if (seen == idx) {
+                    mbx = c;
+                    mby = r;
+                    return;
+                }
+                ++seen;
+            }
+        }
+        mbx = -1;
+        mby = -1;
+    }
+
+    KernelTask
+    kern(Context &ctx)
+    {
+        const bool str = ctx.model() == MemModel::STR;
+        const std::uint32_t lsCur = 0;
+        const std::uint32_t lsEdge = 256;
+        const std::uint32_t lsRec = 512;
+
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            for (int w = 0; w < kWaves; ++w) {
+                int ready = waveSize(w);
+                while (true) {
+                    auto t = co_await ctx.nextTask(
+                        counters.at(std::uint64_t(f) * kWaves + w),
+                        std::uint64_t(ready));
+                    if (t < 0)
+                        break;
+                    int mbx, mby;
+                    waveMb(w, int(t), mbx, mby);
+
+                    //
+                    // Fetch current MB pixels.
+                    //
+                    if (str) {
+                        auto g = co_await ctx.dmaGetStrided(
+                            pixels.at(pix(f, mbx * kMb, mby * kMb)),
+                            kW, kMb, kMb, lsCur);
+                        co_await ctx.dmaWait(g);
+                        for (int y = 0; y < kMb; ++y)
+                            for (int x = 0; x < kMb; x += 4)
+                                co_await ctx.lsRead<std::uint32_t>(
+                                    lsCur +
+                                    std::uint32_t(y * kMb + x));
+                    } else {
+                        for (int y = 0; y < kMb; ++y)
+                            for (int x = 0; x < kMb; x += 4)
+                                co_await ctx.load<std::uint32_t>(
+                                    pixels.at(pix(f, mbx * kMb + x,
+                                                  mby * kMb + y)));
+                    }
+
+                    //
+                    // Fetch reconstructed neighbour edges (shared
+                    // inter-core data).
+                    //
+                    if (mby > 0) {
+                        if (str) {
+                            auto g = co_await ctx.dmaGet(
+                                recon.at(pix(f, mbx * kMb,
+                                             mby * kMb - 1)),
+                                lsEdge, kMb);
+                            co_await ctx.dmaWait(g);
+                            for (int x = 0; x < kMb; x += 4)
+                                co_await ctx.lsRead<std::uint32_t>(
+                                    lsEdge + std::uint32_t(x));
+                        } else {
+                            for (int x = 0; x < kMb; x += 4)
+                                co_await ctx.load<std::uint32_t>(
+                                    recon.at(pix(f, mbx * kMb + x,
+                                                 mby * kMb - 1)));
+                        }
+                    }
+                    if (mbx > 0) {
+                        if (str) {
+                            // A 16x1-byte strided gather: tiny
+                            // transfers that each occupy a whole
+                            // 32-byte granule (streaming's
+                            // inefficiency on irregular data).
+                            auto g = co_await ctx.dmaGetStrided(
+                                recon.at(pix(f, mbx * kMb - 1,
+                                             mby * kMb)),
+                                kW, 1, kMb, lsEdge + kMb);
+                            co_await ctx.dmaWait(g);
+                            for (int y = 0; y < kMb; y += 4)
+                                co_await ctx.lsRead<std::uint32_t>(
+                                    lsEdge + kMb + std::uint32_t(y));
+                        } else {
+                            for (int y = 0; y < kMb; ++y)
+                                co_await ctx.load<std::uint8_t>(
+                                    recon.at(pix(f, mbx * kMb - 1,
+                                                 mby * kMb + y)));
+                        }
+                    }
+
+                    //
+                    // Compute: predict, transform, quantize,
+                    // reconstruct.
+                    //
+                    co_await ctx.compute(kPredCycles);
+                    for (int m = 0; m < 9; ++m)
+                        co_await ctx.compute(kModeSearchCycles / 9);
+                    co_await ctx.compute(
+                        4 * (2 * kXformCycles + 2 * kQuantCycles));
+                    std::int16_t coefs[256];
+                    std::uint8_t rec[256];
+                    encodeMbMath(f, mbx, mby, hostRecon, coefs, rec);
+
+                    //
+                    // Write coefficients (output-only) and the
+                    // reconstructed MB (shared).
+                    //
+                    std::uint64_t ci =
+                        ((std::uint64_t(f) * kMbY + mby) * kMbX +
+                         mbx) *
+                        256;
+                    for (int k = 0; k < 256; k += 4) {
+                        std::uint64_t two;
+                        std::memcpy(&two, &coefs[k], 8);
+                        co_await ctx.storeNA<std::uint64_t>(
+                            coefOut.at(ci + k), two);
+                    }
+                    if (str) {
+                        for (int k = 0; k < 256; k += 4) {
+                            std::uint32_t wv;
+                            std::memcpy(&wv, &rec[k], 4);
+                            co_await ctx.lsWrite<std::uint32_t>(
+                                lsRec + std::uint32_t(k), wv);
+                        }
+                        auto p = co_await ctx.dmaPutStrided(
+                            recon.at(pix(f, mbx * kMb, mby * kMb)),
+                            kW, kMb, kMb, lsRec);
+                        co_await ctx.dmaWait(p);
+                    } else {
+                        for (int y = 0; y < kMb; ++y) {
+                            for (int x = 0; x < kMb; x += 4) {
+                                std::uint32_t wv;
+                                std::memcpy(&wv, &rec[y * kMb + x], 4);
+                                co_await ctx.store<std::uint32_t>(
+                                    recon.at(pix(f, mbx * kMb + x,
+                                                 mby * kMb + y)),
+                                    wv);
+                            }
+                        }
+                    }
+                }
+                co_await ctx.barrier(*waveBar);
+            }
+        }
+    }
+
+    std::uint32_t frames;
+    int nthreads = 1;
+    ArrayRef<std::uint8_t> pixels;
+    ArrayRef<std::uint8_t> recon;
+    ArrayRef<std::int16_t> coefOut;
+    ArrayRef<std::uint32_t> counters;
+    std::unique_ptr<Barrier> waveBar;
+    std::vector<std::uint8_t> hostPix;
+    std::vector<std::uint8_t> hostRecon;
+    std::vector<std::int16_t> hostCoefs;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeH264(const WorkloadParams &p)
+{
+    return std::make_unique<H264Workload>(p);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,87 @@
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+
+Co<void>
+loadWords(Context &ctx, Addr addr, std::uint32_t words)
+{
+    for (std::uint32_t i = 0; i < words; ++i)
+        co_await ctx.load<std::uint32_t>(addr + Addr(i) * 4);
+}
+
+Co<void>
+storeWordsNA(Context &ctx, Addr addr, std::uint32_t words)
+{
+    for (std::uint32_t i = 0; i < words; ++i)
+        co_await ctx.storeNA<std::uint32_t>(addr + Addr(i) * 4, 0);
+}
+
+namespace
+{
+
+void
+wht8(std::int32_t *v, int stride)
+{
+    for (int half = 4; half >= 1; half >>= 1) {
+        for (int base = 0; base < 8; base += 2 * half) {
+            for (int i = 0; i < half; ++i) {
+                std::int32_t a = v[(base + i) * stride];
+                std::int32_t b = v[(base + i + half) * stride];
+                v[(base + i) * stride] = a + b;
+                v[(base + i + half) * stride] = a - b;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+forwardTransform8x8(std::int32_t *blk)
+{
+    for (int r = 0; r < 8; ++r)
+        wht8(blk + r * 8, 1);
+    for (int c = 0; c < 8; ++c)
+        wht8(blk + c, 8);
+}
+
+void
+inverseTransform8x8(std::int32_t *blk)
+{
+    // Self-inverse up to a factor of 64.
+    forwardTransform8x8(blk);
+    for (int k = 0; k < 64; ++k)
+        blk[k] >>= 6;
+}
+
+namespace
+{
+constexpr std::uint64_t fnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t fnvPrime = 1099511628211ULL;
+} // namespace
+
+std::uint64_t
+checksumMem(FunctionalMemory &mem, Addr addr, std::uint64_t bytes)
+{
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        h ^= mem.read<std::uint8_t>(addr + i);
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+checksumHost(const void *data, std::uint64_t bytes)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace cmpmem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared kernel helpers: typed array views over simulated memory,
+ * bulk load/store coroutines, checksums, and small math utilities
+ * used by several workloads.
+ */
+
+#ifndef CMPMEM_WORKLOADS_KERNELS_COMMON_HH
+#define CMPMEM_WORKLOADS_KERNELS_COMMON_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hh"
+#include "mem/functional_memory.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/**
+ * A typed view of an array in simulated memory. Element access
+ * computes addresses only; reads/writes go through a Context (timed)
+ * or the FunctionalMemory (untimed, setup/verify).
+ */
+template <typename T>
+struct ArrayRef
+{
+    Addr base = 0;
+    std::uint64_t count = 0;
+
+    Addr at(std::uint64_t i) const { return base + i * sizeof(T); }
+
+    /** Allocate an array in @p mem. */
+    static ArrayRef
+    alloc(FunctionalMemory &mem, std::uint64_t n)
+    {
+        return {mem.alloc(n * sizeof(T), 64), n};
+    }
+};
+
+/** Sequentially load @p words 32-bit words starting at @p addr. */
+Co<void> loadWords(Context &ctx, Addr addr, std::uint32_t words);
+
+/** Sequentially store @p words zero words (output-only, storeNA). */
+Co<void> storeWordsNA(Context &ctx, Addr addr, std::uint32_t words);
+
+/**
+ * Thread partition helper: [begin, end) of @p n items for this tid.
+ */
+struct Range
+{
+    std::uint64_t begin;
+    std::uint64_t end;
+};
+
+inline Range
+splitRange(std::uint64_t n, int tid, int nthreads)
+{
+    std::uint64_t per = n / std::uint64_t(nthreads);
+    std::uint64_t rem = n % std::uint64_t(nthreads);
+    std::uint64_t lo = per * std::uint64_t(tid) +
+                       std::min<std::uint64_t>(tid, rem);
+    std::uint64_t hi = lo + per + (std::uint64_t(tid) < rem ? 1 : 0);
+    return {lo, hi};
+}
+
+/**
+ * In-place 8x8 integer orthogonal block transform shared by the
+ * image/video codecs (a separable butterfly transform; exact integer
+ * round trip: inverse(forward(x)) == x after the >>6 normalization).
+ */
+void forwardTransform8x8(std::int32_t *blk);
+void inverseTransform8x8(std::int32_t *blk);
+
+/** FNV-1a checksum over a simulated-memory range (untimed). */
+std::uint64_t checksumMem(FunctionalMemory &mem, Addr addr,
+                          std::uint64_t bytes);
+
+/** FNV-1a over a host buffer. */
+std::uint64_t checksumHost(const void *data, std::uint64_t bytes);
+
+} // namespace cmpmem
+
+#endif // CMPMEM_WORKLOADS_KERNELS_COMMON_HH

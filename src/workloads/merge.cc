@@ -1,0 +1,454 @@
+/**
+ * @file
+ * MergeSort: "processors first sort chunks of 4096 keys in parallel
+ * using quicksort. Then, sorted chunks are merged ... MergeSort
+ * gradually reduces in parallelism as it progresses [and] alternates
+ * writing output sublists to two buffer arrays" (Section 4.2).
+ *
+ * Paper behaviours reproduced here:
+ *  - decreasing parallelism -> growing Sync fraction at high core
+ *    counts (Figure 2);
+ *  - sequential output streams -> superfluous write-allocate refills
+ *    in CC (fixed by PFS in Figure 8; stores use storeNA);
+ *  - the STR inner loop "executes extra comparisons to check if an
+ *    output buffer is full and needs to be drained", so it runs more
+ *    instructions even when double-buffering hides all data stalls;
+ *  - hardware prefetching on the two sequential input runs plus the
+ *    output eliminates CC data stalls (Figure 7).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr std::uint32_t kChunk = 4096;
+
+class MergeWorkload : public Workload
+{
+  public:
+    explicit MergeWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        n = p.scale > 0 ? (1u << (16 + p.scale)) : (1u << 14);
+    }
+
+    std::string name() const override { return "merge"; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        bufA = ArrayRef<std::uint32_t>::alloc(mem, n);
+        bufB = ArrayRef<std::uint32_t>::alloc(mem, n);
+        levels = 0;
+        for (std::uint32_t s = kChunk; s < n; s <<= 1)
+            ++levels;
+        counters = ArrayRef<std::uint32_t>::alloc(mem, levels + 1);
+        levelBar = std::make_unique<Barrier>(sys.cores());
+
+        Rng rng(99);
+        expected.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto v = rng.next32();
+            mem.write<std::uint32_t>(bufA.at(i), v);
+            expected[i] = v;
+        }
+        std::sort(expected.begin(), expected.end());
+        for (std::uint32_t l = 0; l <= levels; ++l)
+            mem.write<std::uint32_t>(counters.at(l), 0);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        if (ctx.model() == MemModel::STR)
+            return kernelStr(ctx);
+        return kernelCc(ctx);
+    }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        const ArrayRef<std::uint32_t> &result =
+            (levels % 2 == 0) ? bufA : bufB;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (mem.read<std::uint32_t>(result.at(i)) != expected[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    //
+    // Cache-based kernels.
+    //
+
+    Co<void>
+    quicksortCc(Context &ctx, Addr base, std::int64_t lo,
+                std::int64_t hi)
+    {
+        // Iterative quicksort with an explicit range stack; all key
+        // accesses go through the cache.
+        std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+        stack.emplace_back(lo, hi);
+        while (!stack.empty()) {
+            auto [l, h] = stack.back();
+            stack.pop_back();
+            while (h - l > 12) {
+                auto pivot = co_await ctx.load<std::uint32_t>(
+                    base + Addr((l + h) / 2) * 4);
+                std::int64_t i = l;
+                std::int64_t j = h;
+                while (i <= j) {
+                    std::uint32_t a;
+                    while (true) {
+                        a = co_await ctx.load<std::uint32_t>(
+                            base + Addr(i) * 4);
+                        co_await ctx.compute(1);
+                        if (a >= pivot)
+                            break;
+                        ++i;
+                    }
+                    std::uint32_t b;
+                    while (true) {
+                        b = co_await ctx.load<std::uint32_t>(
+                            base + Addr(j) * 4);
+                        co_await ctx.compute(1);
+                        if (b <= pivot)
+                            break;
+                        --j;
+                    }
+                    if (i <= j) {
+                        co_await ctx.store<std::uint32_t>(
+                            base + Addr(i) * 4, b);
+                        co_await ctx.store<std::uint32_t>(
+                            base + Addr(j) * 4, a);
+                        ++i;
+                        --j;
+                    }
+                }
+                stack.emplace_back(i, h);
+                h = j;
+            }
+            // Insertion sort for the small tail.
+            for (std::int64_t i = l + 1; i <= h; ++i) {
+                auto v = co_await ctx.load<std::uint32_t>(
+                    base + Addr(i) * 4);
+                std::int64_t j = i - 1;
+                while (j >= l) {
+                    auto u = co_await ctx.load<std::uint32_t>(
+                        base + Addr(j) * 4);
+                    co_await ctx.compute(1);
+                    if (u <= v)
+                        break;
+                    co_await ctx.store<std::uint32_t>(
+                        base + Addr(j + 1) * 4, u);
+                    --j;
+                }
+                co_await ctx.store<std::uint32_t>(base + Addr(j + 1) * 4,
+                                                  v);
+            }
+        }
+    }
+
+    Co<void>
+    mergeCc(Context &ctx, Addr srcL, Addr srcR, std::uint32_t len,
+            Addr dst)
+    {
+        std::uint32_t i = 0;
+        std::uint32_t j = 0;
+        std::uint32_t o = 0;
+        // Keep the heads in registers; reload on consumption only.
+        std::uint32_t a = co_await ctx.load<std::uint32_t>(srcL);
+        std::uint32_t b = co_await ctx.load<std::uint32_t>(srcR);
+        while (i < len && j < len) {
+            co_await ctx.compute(1);
+            if (a <= b) {
+                co_await ctx.storeNA<std::uint32_t>(dst + Addr(o++) * 4,
+                                                    a);
+                if (++i < len) {
+                    a = co_await ctx.load<std::uint32_t>(
+                        srcL + Addr(i) * 4);
+                }
+            } else {
+                co_await ctx.storeNA<std::uint32_t>(dst + Addr(o++) * 4,
+                                                    b);
+                if (++j < len) {
+                    b = co_await ctx.load<std::uint32_t>(
+                        srcR + Addr(j) * 4);
+                }
+            }
+        }
+        while (i < len) {
+            auto v = co_await ctx.load<std::uint32_t>(srcL + Addr(i) * 4);
+            co_await ctx.storeNA<std::uint32_t>(dst + Addr(o++) * 4, v);
+            ++i;
+        }
+        while (j < len) {
+            auto v = co_await ctx.load<std::uint32_t>(srcR + Addr(j) * 4);
+            co_await ctx.storeNA<std::uint32_t>(dst + Addr(o++) * 4, v);
+            ++j;
+        }
+    }
+
+    KernelTask
+    kernelCc(Context &ctx)
+    {
+        // Phase 1: quicksort chunks, dynamically assigned.
+        const std::uint32_t chunks = n / kChunk;
+        while (true) {
+            auto t = co_await ctx.nextTask(counters.at(0), chunks);
+            if (t < 0)
+                break;
+            Addr base = bufA.at(std::uint64_t(t) * kChunk);
+            co_await quicksortCc(ctx, base, 0, kChunk - 1);
+        }
+        co_await ctx.barrier(*levelBar);
+
+        // Phase 2: merge tree, ping-ponging between the buffers.
+        std::uint32_t len = kChunk;
+        for (std::uint32_t level = 0; level < levels; ++level) {
+            const ArrayRef<std::uint32_t> &src =
+                (level % 2 == 0) ? bufA : bufB;
+            const ArrayRef<std::uint32_t> &dst =
+                (level % 2 == 0) ? bufB : bufA;
+            std::uint32_t tasks = n / (2 * len);
+            while (true) {
+                auto t = co_await ctx.nextTask(counters.at(level + 1),
+                                               tasks);
+                if (t < 0)
+                    break;
+                std::uint64_t base = std::uint64_t(t) * 2 * len;
+                co_await mergeCc(ctx, src.at(base), src.at(base + len),
+                                 len, dst.at(base));
+            }
+            co_await ctx.barrier(*levelBar);
+            len <<= 1;
+        }
+    }
+
+    //
+    // Streaming kernels.
+    //
+
+    Co<void>
+    quicksortLs(Context &ctx, std::uint32_t ls_base, std::int64_t lo,
+                std::int64_t hi)
+    {
+        std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+        stack.emplace_back(lo, hi);
+        auto rd = [&](std::int64_t i) {
+            return ctx.lsRead<std::uint32_t>(ls_base +
+                                             std::uint32_t(i) * 4);
+        };
+        auto wr = [&](std::int64_t i, std::uint32_t v) {
+            return ctx.lsWrite<std::uint32_t>(
+                ls_base + std::uint32_t(i) * 4, v);
+        };
+        while (!stack.empty()) {
+            auto [l, h] = stack.back();
+            stack.pop_back();
+            while (h - l > 12) {
+                auto pivot = co_await rd((l + h) / 2);
+                std::int64_t i = l;
+                std::int64_t j = h;
+                while (i <= j) {
+                    std::uint32_t a;
+                    while (true) {
+                        a = co_await rd(i);
+                        co_await ctx.compute(1);
+                        if (a >= pivot)
+                            break;
+                        ++i;
+                    }
+                    std::uint32_t b;
+                    while (true) {
+                        b = co_await rd(j);
+                        co_await ctx.compute(1);
+                        if (b <= pivot)
+                            break;
+                        --j;
+                    }
+                    if (i <= j) {
+                        co_await wr(i, b);
+                        co_await wr(j, a);
+                        ++i;
+                        --j;
+                    }
+                }
+                stack.emplace_back(i, h);
+                h = j;
+            }
+            for (std::int64_t i = l + 1; i <= h; ++i) {
+                auto v = co_await rd(i);
+                std::int64_t j = i - 1;
+                while (j >= l) {
+                    auto u = co_await rd(j);
+                    co_await ctx.compute(1);
+                    if (u <= v)
+                        break;
+                    co_await wr(j + 1, u);
+                    --j;
+                }
+                co_await wr(j + 1, v);
+            }
+        }
+    }
+
+    /**
+     * Streaming merge: both input runs stream through double-
+     * buffered local-store windows; output gathers in a local buffer
+     * drained by DMA when full. The drain check is the extra
+     * comparison per element the paper charges to streaming.
+     */
+    Co<void>
+    mergeStr(Context &ctx, Addr srcL, Addr srcR, std::uint32_t len,
+             Addr dst)
+    {
+        constexpr std::uint32_t win = 512; // elements per window
+        const std::uint32_t lsL = 0;
+        const std::uint32_t lsR = win * 4;
+        const std::uint32_t lsO = 2 * win * 4;
+
+        std::uint32_t li = 0, ri = 0; // consumed from each run
+        std::uint32_t lw = 0, rw = 0; // filled window sizes
+        std::uint32_t lo = 0, ro = 0; // offset within window
+        std::uint32_t oo = 0;         // output fill
+        std::uint32_t written = 0;
+
+        auto refillL = [&]() -> Co<void> {
+            lw = std::min(win, len - li);
+            auto tk = co_await ctx.dmaGet(srcL + Addr(li) * 4, lsL,
+                                          lw * 4);
+            co_await ctx.dmaWait(tk);
+            lo = 0;
+        };
+        auto refillR = [&]() -> Co<void> {
+            rw = std::min(win, len - ri);
+            auto tk = co_await ctx.dmaGet(srcR + Addr(ri) * 4, lsR,
+                                          rw * 4);
+            co_await ctx.dmaWait(tk);
+            ro = 0;
+        };
+        auto drain = [&]() -> Co<void> {
+            auto tk = co_await ctx.dmaPut(dst + Addr(written) * 4, lsO,
+                                          oo * 4);
+            co_await ctx.dmaWait(tk);
+            written += oo;
+            oo = 0;
+        };
+
+        if (len)
+            co_await refillL();
+        if (len)
+            co_await refillR();
+
+        while (li < len || ri < len) {
+            std::uint32_t v;
+            if (li < len && ri < len) {
+                auto a = co_await ctx.lsRead<std::uint32_t>(lsL + lo * 4);
+                auto b = co_await ctx.lsRead<std::uint32_t>(lsR + ro * 4);
+                co_await ctx.compute(1);
+                if (a <= b) {
+                    v = a;
+                    ++li;
+                    if (++lo == lw && li < len)
+                        co_await refillL();
+                } else {
+                    v = b;
+                    ++ri;
+                    if (++ro == rw && ri < len)
+                        co_await refillR();
+                }
+            } else if (li < len) {
+                v = co_await ctx.lsRead<std::uint32_t>(lsL + lo * 4);
+                ++li;
+                if (++lo == lw && li < len)
+                    co_await refillL();
+            } else {
+                v = co_await ctx.lsRead<std::uint32_t>(lsR + ro * 4);
+                ++ri;
+                if (++ro == rw && ri < len)
+                    co_await refillR();
+            }
+            co_await ctx.lsWrite<std::uint32_t>(lsO + oo * 4, v);
+            ++oo;
+            // The output-buffer-full check: one extra comparison per
+            // element relative to the cache-based inner loop.
+            co_await ctx.compute(1);
+            if (oo == win)
+                co_await drain();
+        }
+        if (oo)
+            co_await drain();
+    }
+
+    KernelTask
+    kernelStr(Context &ctx)
+    {
+        const std::uint32_t chunks = n / kChunk;
+        const std::uint32_t chunkBytes = kChunk * 4;
+
+        // Phase 1: DMA each chunk into the local store (16 KB of the
+        // 24 KB), quicksort locally, DMA back.
+        while (true) {
+            auto t = co_await ctx.nextTask(counters.at(0), chunks);
+            if (t < 0)
+                break;
+            Addr base = bufA.at(std::uint64_t(t) * kChunk);
+            auto g = co_await ctx.dmaGet(base, 0, chunkBytes);
+            co_await ctx.dmaWait(g);
+            co_await quicksortLs(ctx, 0, 0, kChunk - 1);
+            auto pt = co_await ctx.dmaPut(base, 0, chunkBytes);
+            co_await ctx.dmaWait(pt);
+        }
+        co_await ctx.barrier(*levelBar);
+
+        std::uint32_t len = kChunk;
+        for (std::uint32_t level = 0; level < levels; ++level) {
+            const ArrayRef<std::uint32_t> &src =
+                (level % 2 == 0) ? bufA : bufB;
+            const ArrayRef<std::uint32_t> &dst =
+                (level % 2 == 0) ? bufB : bufA;
+            std::uint32_t tasks = n / (2 * len);
+            while (true) {
+                auto t = co_await ctx.nextTask(counters.at(level + 1),
+                                               tasks);
+                if (t < 0)
+                    break;
+                std::uint64_t base = std::uint64_t(t) * 2 * len;
+                co_await mergeStr(ctx, src.at(base), src.at(base + len),
+                                  len, dst.at(base));
+            }
+            co_await ctx.barrier(*levelBar);
+            len <<= 1;
+        }
+    }
+
+    std::uint32_t n;
+    std::uint32_t levels = 0;
+    ArrayRef<std::uint32_t> bufA;
+    ArrayRef<std::uint32_t> bufB;
+    ArrayRef<std::uint32_t> counters;
+    std::unique_ptr<Barrier> levelBar;
+    std::vector<std::uint32_t> expected;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMerge(const WorkloadParams &p)
+{
+    return std::make_unique<MergeWorkload>(p);
+}
+
+} // namespace cmpmem

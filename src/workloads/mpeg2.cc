@@ -1,0 +1,602 @@
+/**
+ * @file
+ * MPEG-2 encoder, "parallelized at the macroblock level ...
+ * dynamically assign[ing] macroblocks to cores using a task queue.
+ * Macroblocks are entirely data-parallel in MPEG-2" (Section 4.2).
+ *
+ * Two cache-model variants reproduce Figure 9:
+ *  - orig (streamOptimized=false): the ALP-style code "performs an
+ *    application kernel on a whole video frame before the next
+ *    kernel is invoked (i.e. Motion Estimation, DCT, Quantization)",
+ *    with frame-sized temporary arrays for residuals and
+ *    coefficients between passes;
+ *  - base (streamOptimized=true): the restructured code that
+ *    executes all tasks on a macroblock before moving to the next,
+ *    condensing the large temporaries into stack variables — cutting
+ *    L1 write-backs by ~60% in the paper. The restructured code has
+ *    a notably larger I-cache footprint (all kernels in the loop),
+ *    which icacheMpki() reflects.
+ *
+ * The encoder itself: three-step motion search over a +/-8 window
+ * against the previous original frame (open-loop prediction, a
+ * documented simplification), 8x8 integer transform of the residual,
+ * and per-coefficient quantization. Outputs are bit-exact against a
+ * host reference performing the identical search.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr int kW = 320;
+constexpr int kH = 192;
+constexpr int kMb = 16;
+constexpr int kMbX = kW / kMb;
+constexpr int kMbY = kH / kMb;
+constexpr int kMbPerFrame = kMbX * kMbY;
+constexpr int kSearch = 8; ///< +/- window
+/** Consecutive macroblocks per task-queue grab: horizontally
+ *  adjacent MBs share two thirds of their search windows, which the
+ *  cache-based version reuses for free while the streaming version
+ *  re-fetches the whole window per MB (the paper's "streaming system
+ *  may naively re-fetch data" observation). */
+constexpr int kMbChunk = 5;
+/** SAD of a 16x16 block: 256 absolute differences on a 3-slot VLIW
+ *  without SIMD. */
+constexpr Cycles kSadCycles = 170;
+constexpr Cycles kXformCycles = 110; ///< one 8x8 transform
+constexpr Cycles kQuantCycles = 40;  ///< quantize one 8x8 block
+
+int
+quantShift(int k)
+{
+    return 3 + ((k % 8) + (k / 8)) / 3;
+}
+
+class Mpeg2Workload : public Workload
+{
+  public:
+    explicit Mpeg2Workload(const WorkloadParams &p) : Workload(p)
+    {
+        pFrames = p.scale > 0 ? 2 * p.scale : 1; // P-frames
+    }
+
+    std::string name() const override { return "mpeg2"; }
+
+    double
+    icacheMpki(const SystemConfig &) const override
+    {
+        // The fused (stream-optimized) loop body holds every kernel
+        // at once and misses more in the 16 KB I-cache (Section 6).
+        return prm.streamOptimized ? 1.6 : 0.6;
+    }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        nthreads = sys.cores();
+        const std::uint64_t frame = std::uint64_t(kW) * kH;
+        const std::uint32_t frames = pFrames + 1;
+        pixels = ArrayRef<std::uint8_t>::alloc(mem, frame * frames);
+        mvOut = ArrayRef<std::int8_t>::alloc(
+            mem, std::uint64_t(2) * kMbPerFrame * pFrames);
+        coefOut = ArrayRef<std::int16_t>::alloc(
+            mem, std::uint64_t(256) * kMbPerFrame * pFrames);
+        // Frame-sized temporaries for the unoptimized pass-per-kernel
+        // variant.
+        residTmp = ArrayRef<std::int16_t>::alloc(mem, frame);
+        coefTmp = ArrayRef<std::int16_t>::alloc(mem, frame);
+        counters = ArrayRef<std::uint32_t>::alloc(
+            mem, std::uint64_t(3) * pFrames);
+        frameBar = std::make_unique<Barrier>(nthreads);
+
+        // Synthetic video: textured background with a moving box, so
+        // motion search finds real motion vectors.
+        Rng rng(555);
+        hostPix.resize(frame * frames);
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            int ox = int(f) * 3;
+            int oy = int(f) * 2;
+            for (int y = 0; y < kH; ++y) {
+                for (int x = 0; x < kW; ++x) {
+                    int wx = x - ox;
+                    int wy = y - oy;
+                    int v = ((wx * 13) ^ (wy * 7)) & 0x7f;
+                    bool box = wx > 60 && wx < 140 && wy > 40 &&
+                               wy < 120;
+                    hostPix[f * frame + std::uint64_t(y) * kW + x] =
+                        std::uint8_t(box ? 200 + (v & 0x1f) : v);
+                }
+            }
+        }
+        for (std::uint64_t i = 0; i < hostPix.size(); ++i)
+            mem.write<std::uint8_t>(pixels.at(i), hostPix[i]);
+        for (std::uint32_t c = 0; c < 3 * pFrames; ++c)
+            mem.write<std::uint32_t>(counters.at(c), 0);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        if (ctx.model() == MemModel::STR)
+            return kernelStr(ctx);
+        return prm.streamOptimized ? kernelCcFused(ctx)
+                                   : kernelCcPasses(ctx);
+    }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        for (std::uint32_t f = 0; f < pFrames; ++f) {
+            for (int mb = 0; mb < kMbPerFrame; ++mb) {
+                int bestDx, bestDy;
+                std::int16_t coefs[256];
+                hostEncodeMb(f + 1, mb, bestDx, bestDy, coefs);
+                std::uint64_t mvBase =
+                    (std::uint64_t(f) * kMbPerFrame + mb) * 2;
+                if (mem.read<std::int8_t>(mvOut.at(mvBase)) != bestDx ||
+                    mem.read<std::int8_t>(mvOut.at(mvBase + 1)) !=
+                        bestDy)
+                    return false;
+                std::uint64_t cBase =
+                    (std::uint64_t(f) * kMbPerFrame + mb) * 256;
+                for (int k = 0; k < 256; ++k) {
+                    if (mem.read<std::int16_t>(coefOut.at(cBase + k)) !=
+                        coefs[k])
+                        return false;
+                }
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t
+    pix(std::uint32_t f, int x, int y) const
+    {
+        return (std::uint64_t(f) * kH + std::uint64_t(y)) * kW +
+               std::uint64_t(x);
+    }
+
+    static int
+    clampCoord(int v, int lo, int hi)
+    {
+        return v < lo ? lo : (v > hi ? hi : v);
+    }
+
+    /** SAD between a current-MB buffer and a ref position (host). */
+    std::uint64_t
+    hostSad(const std::uint8_t *cur, std::uint32_t ref_frame, int rx,
+            int ry) const
+    {
+        std::uint64_t sad = 0;
+        for (int y = 0; y < kMb; ++y) {
+            for (int x = 0; x < kMb; ++x) {
+                int sx = clampCoord(rx + x, 0, kW - 1);
+                int sy = clampCoord(ry + y, 0, kH - 1);
+                sad += std::uint64_t(std::abs(
+                    int(cur[y * kMb + x]) -
+                    int(hostPix[pix(ref_frame, sx, sy)])));
+            }
+        }
+        return sad;
+    }
+
+    /**
+     * Two-stage search: a coarse step-2 scan of the whole +/-8
+     * window (81 SADs, the bulk of MPEG-2's compute intensity in the
+     * paper's Table 3) followed by a +/-1 refinement (8 SADs).
+     * Deterministic candidate order.
+     */
+    void
+    hostSearch(const std::uint8_t *cur, std::uint32_t ref_frame,
+               int mbx, int mby, int &bestDx, int &bestDy) const
+    {
+        int cx = 0, cy = 0;
+        std::uint64_t best = ~0ull;
+        for (int dy = -kSearch; dy <= kSearch; dy += 2) {
+            for (int dx = -kSearch; dx <= kSearch; dx += 2) {
+                std::uint64_t s = hostSad(cur, ref_frame,
+                                          mbx * kMb + dx,
+                                          mby * kMb + dy);
+                if (s < best) {
+                    best = s;
+                    cx = dx;
+                    cy = dy;
+                }
+            }
+        }
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                int nx = cx + dx, ny = cy + dy;
+                if (nx < -kSearch || nx > kSearch || ny < -kSearch ||
+                    ny > kSearch)
+                    continue;
+                std::uint64_t s = hostSad(cur, ref_frame,
+                                          mbx * kMb + nx,
+                                          mby * kMb + ny);
+                if (s < best) {
+                    best = s;
+                    cx = nx;
+                    cy = ny;
+                }
+            }
+        }
+        bestDx = cx;
+        bestDy = cy;
+    }
+
+    void
+    hostResidual(const std::uint8_t *cur, std::uint32_t ref_frame,
+                 int mbx, int mby, int dx, int dy,
+                 std::int16_t *resid) const
+    {
+        for (int y = 0; y < kMb; ++y) {
+            for (int x = 0; x < kMb; ++x) {
+                int sx = clampCoord(mbx * kMb + dx + x, 0, kW - 1);
+                int sy = clampCoord(mby * kMb + dy + y, 0, kH - 1);
+                resid[y * kMb + x] = std::int16_t(
+                    int(cur[y * kMb + x]) -
+                    int(hostPix[pix(ref_frame, sx, sy)]));
+            }
+        }
+    }
+
+    static void
+    transformQuant(const std::int16_t *resid, std::int16_t *coefs)
+    {
+        for (int b = 0; b < 4; ++b) {
+            int bx = (b % 2) * 8;
+            int by = (b / 2) * 8;
+            std::int32_t blk[64];
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    blk[y * 8 + x] =
+                        resid[(by + y) * kMb + bx + x];
+            forwardTransform8x8(blk);
+            for (int k = 0; k < 64; ++k)
+                coefs[b * 64 + k] =
+                    std::int16_t(blk[k] >> quantShift(k));
+        }
+    }
+
+    void
+    hostEncodeMb(std::uint32_t f, int mb, int &bestDx, int &bestDy,
+                 std::int16_t *coefs) const
+    {
+        int mbx = mb % kMbX;
+        int mby = mb / kMbX;
+        std::uint8_t cur[256];
+        for (int y = 0; y < kMb; ++y)
+            for (int x = 0; x < kMb; ++x)
+                cur[y * kMb + x] =
+                    hostPix[pix(f, mbx * kMb + x, mby * kMb + y)];
+        hostSearch(cur, f - 1, mbx, mby, bestDx, bestDy);
+        std::int16_t resid[256];
+        hostResidual(cur, f - 1, mbx, mby, bestDx, bestDy, resid);
+        transformQuant(resid, coefs);
+    }
+
+    //
+    // Timed building blocks shared by the simulated kernels. The
+    // pixel *values* come from host arrays (identical to simulated
+    // memory contents, which verify() re-checks); the *accesses* are
+    // issued against simulated memory so timing sees the real
+    // pattern.
+    //
+
+    /** Load the current MB (256 B, sequential per row). */
+    Co<void>
+    loadCurrentMb(Context &ctx, std::uint32_t f, int mbx, int mby,
+                  std::uint8_t *cur, bool via_ls, std::uint32_t ls_off)
+    {
+        for (int y = 0; y < kMb; ++y) {
+            for (int x = 0; x < kMb; x += 4) {
+                std::uint32_t w;
+                if (via_ls) {
+                    w = co_await ctx.lsRead<std::uint32_t>(
+                        ls_off + std::uint32_t(y * kMb + x));
+                } else {
+                    w = co_await ctx.load<std::uint32_t>(pixels.at(
+                        pix(f, mbx * kMb + x, mby * kMb + y)));
+                }
+                std::memcpy(&cur[y * kMb + x], &w, 4);
+            }
+        }
+    }
+
+    /** Load the (clamped) 32x32 search window around the MB. */
+    Co<void>
+    loadWindow(Context &ctx, std::uint32_t ref, int mbx, int mby,
+               bool via_ls, std::uint32_t ls_off)
+    {
+        for (int y = -kSearch; y < kMb + kSearch; y += 1) {
+            int sy = clampCoord(mby * kMb + y, 0, kH - 1);
+            for (int x = -kSearch; x < kMb + kSearch; x += 4) {
+                int sx = clampCoord(mbx * kMb + x, 0, kW - 4);
+                if (via_ls) {
+                    co_await ctx.lsRead<std::uint32_t>(
+                        ls_off +
+                        std::uint32_t((y + kSearch) * 32 +
+                                      (x + kSearch)));
+                } else {
+                    co_await ctx.load<std::uint32_t>(
+                        pixels.at(pix(ref, sx, sy)));
+                }
+            }
+        }
+    }
+
+    /** Charge the compute of the two-stage search (81 + 8 SADs). */
+    Co<void>
+    chargeSearchCompute(Context &ctx)
+    {
+        for (int row = 0; row < 9; ++row)
+            co_await ctx.compute(9 * kSadCycles); // coarse scan
+        co_await ctx.compute(8 * kSadCycles);     // refinement
+    }
+
+    /** The fused per-MB encode (used by CC-fused and STR). */
+    Co<void>
+    encodeMbSim(Context &ctx, std::uint32_t f, int mb, bool via_ls)
+    {
+        int mbx = mb % kMbX;
+        int mby = mb / kMbX;
+
+        // Streaming: DMA the current MB and the search window first.
+        const std::uint32_t lsCur = 0;
+        const std::uint32_t lsWin = 256;
+        const std::uint32_t lsOut = 256 + 1024;
+        if (via_ls) {
+            auto g1 = co_await ctx.dmaGetStrided(
+                pixels.at(pix(f, mbx * kMb, mby * kMb)), kW, kMb, kMb,
+                lsCur);
+            int wy0 = clampCoord(mby * kMb - kSearch, 0, kH - 32);
+            int wx0 = clampCoord(mbx * kMb - kSearch, 0, kW - 32);
+            auto g2 = co_await ctx.dmaGetStrided(
+                pixels.at(pix(f - 1, wx0, wy0)), kW, 32, 32, lsWin);
+            co_await ctx.dmaWait(g1);
+            co_await ctx.dmaWait(g2);
+        }
+
+        std::uint8_t cur[256];
+        co_await loadCurrentMb(ctx, f, mbx, mby, cur, via_ls, lsCur);
+        co_await loadWindow(ctx, f - 1, mbx, mby, via_ls, lsWin);
+        co_await chargeSearchCompute(ctx);
+
+        int dx, dy;
+        hostSearch(cur, f - 1, mbx, mby, dx, dy);
+        std::int16_t resid[256];
+        hostResidual(cur, f - 1, mbx, mby, dx, dy, resid);
+        co_await ctx.compute(128); // residual generation
+        std::int16_t coefs[256];
+        transformQuant(resid, coefs);
+        co_await ctx.compute(4 * (kXformCycles + kQuantCycles));
+
+        // Outputs: motion vector + 512 B of coefficients.
+        std::uint64_t idx = (std::uint64_t(f - 1) * kMbPerFrame + mb);
+        if (via_ls) {
+            for (int k = 0; k < 256; ++k) {
+                co_await ctx.lsWrite<std::int16_t>(
+                    lsOut + std::uint32_t(k) * 2, coefs[k]);
+            }
+            auto p1 = co_await ctx.dmaPut(coefOut.at(idx * 256), lsOut,
+                                          512);
+            co_await ctx.storeNA<std::int8_t>(mvOut.at(idx * 2),
+                                              std::int8_t(dx));
+            co_await ctx.storeNA<std::int8_t>(mvOut.at(idx * 2 + 1),
+                                              std::int8_t(dy));
+            co_await ctx.dmaWait(p1);
+        } else {
+            for (int k = 0; k < 256; k += 4) {
+                std::uint64_t two;
+                std::memcpy(&two, &coefs[k], 8);
+                co_await ctx.storeNA<std::uint64_t>(
+                    coefOut.at(idx * 256 + k), two);
+            }
+            co_await ctx.storeNA<std::int8_t>(mvOut.at(idx * 2),
+                                              std::int8_t(dx));
+            co_await ctx.storeNA<std::int8_t>(mvOut.at(idx * 2 + 1),
+                                              std::int8_t(dy));
+        }
+    }
+
+    KernelTask
+    kernelCcFused(Context &ctx)
+    {
+        const std::uint64_t chunks =
+            (kMbPerFrame + kMbChunk - 1) / kMbChunk;
+        for (std::uint32_t f = 1; f <= pFrames; ++f) {
+            while (true) {
+                auto t = co_await ctx.nextTask(
+                    counters.at((f - 1) * 3), chunks);
+                if (t < 0)
+                    break;
+                int lo = int(t) * kMbChunk;
+                int hi = std::min(lo + kMbChunk, kMbPerFrame);
+                for (int mb = lo; mb < hi; ++mb)
+                    co_await encodeMbSim(ctx, f, mb, false);
+            }
+            co_await ctx.barrier(*frameBar);
+        }
+    }
+
+    KernelTask
+    kernelStr(Context &ctx)
+    {
+        const std::uint64_t chunks =
+            (kMbPerFrame + kMbChunk - 1) / kMbChunk;
+        for (std::uint32_t f = 1; f <= pFrames; ++f) {
+            while (true) {
+                auto t = co_await ctx.nextTask(
+                    counters.at((f - 1) * 3), chunks);
+                if (t < 0)
+                    break;
+                int lo = int(t) * kMbChunk;
+                int hi = std::min(lo + kMbChunk, kMbPerFrame);
+                for (int mb = lo; mb < hi; ++mb)
+                    co_await encodeMbSim(ctx, f, mb, true);
+            }
+            co_await ctx.barrier(*frameBar);
+        }
+    }
+
+    /**
+     * Unoptimized: one kernel pass over the whole frame before the
+     * next kernel runs, with frame-sized residual and coefficient
+     * temporaries in memory between passes.
+     */
+    KernelTask
+    kernelCcPasses(Context &ctx)
+    {
+        for (std::uint32_t f = 1; f <= pFrames; ++f) {
+            // Pass 1: motion estimation + residual to residTmp.
+            while (true) {
+                auto t = co_await ctx.nextTask(
+                    counters.at((f - 1) * 3), kMbPerFrame);
+                if (t < 0)
+                    break;
+                int mb = int(t);
+                int mbx = mb % kMbX;
+                int mby = mb / kMbX;
+                std::uint8_t cur[256];
+                co_await loadCurrentMb(ctx, f, mbx, mby, cur, false, 0);
+                co_await loadWindow(ctx, f - 1, mbx, mby, false, 0);
+                co_await chargeSearchCompute(ctx);
+                int dx, dy;
+                hostSearch(cur, f - 1, mbx, mby, dx, dy);
+                std::int16_t resid[256];
+                hostResidual(cur, f - 1, mbx, mby, dx, dy, resid);
+                co_await ctx.compute(128);
+                std::uint64_t idx =
+                    (std::uint64_t(f - 1) * kMbPerFrame + mb);
+                co_await ctx.storeNA<std::int8_t>(mvOut.at(idx * 2),
+                                                  std::int8_t(dx));
+                co_await ctx.storeNA<std::int8_t>(
+                    mvOut.at(idx * 2 + 1), std::int8_t(dy));
+                // Residual temporary lives in a frame-sized buffer.
+                for (int y = 0; y < kMb; ++y) {
+                    for (int x = 0; x < kMb; x += 4) {
+                        std::uint64_t two;
+                        std::memcpy(&two, &resid[y * kMb + x], 8);
+                        co_await ctx.store<std::uint64_t>(
+                            residTmp.at(
+                                pix(0, mbx * kMb + x, mby * kMb + y)),
+                            two);
+                    }
+                }
+            }
+            co_await ctx.barrier(*frameBar);
+
+            // Pass 2: transform residTmp -> coefTmp.
+            while (true) {
+                auto t = co_await ctx.nextTask(
+                    counters.at((f - 1) * 3 + 1), kMbPerFrame);
+                if (t < 0)
+                    break;
+                int mb = int(t);
+                int mbx = mb % kMbX;
+                int mby = mb / kMbX;
+                std::int16_t resid[256];
+                for (int y = 0; y < kMb; ++y) {
+                    for (int x = 0; x < kMb; x += 4) {
+                        auto two = co_await ctx.load<std::uint64_t>(
+                            residTmp.at(
+                                pix(0, mbx * kMb + x, mby * kMb + y)));
+                        std::memcpy(&resid[y * kMb + x], &two, 8);
+                    }
+                }
+                co_await ctx.compute(4 * kXformCycles);
+                std::int16_t unquant[256];
+                for (int b = 0; b < 4; ++b) {
+                    int bx = (b % 2) * 8;
+                    int by = (b / 2) * 8;
+                    std::int32_t blk[64];
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            blk[y * 8 + x] =
+                                resid[(by + y) * kMb + bx + x];
+                    forwardTransform8x8(blk);
+                    for (int k = 0; k < 64; ++k)
+                        unquant[b * 64 + k] = std::int16_t(blk[k]);
+                }
+                for (int k = 0; k < 256; k += 4) {
+                    std::uint64_t two;
+                    std::memcpy(&two, &unquant[k], 8);
+                    co_await ctx.store<std::uint64_t>(
+                        coefTmp.at(pix(0, (mb % kMbX) * kMb +
+                                              (k % kMb),
+                                       (mb / kMbX) * kMb + k / kMb)),
+                        two);
+                }
+            }
+            co_await ctx.barrier(*frameBar);
+
+            // Pass 3: quantize coefTmp -> coefOut.
+            while (true) {
+                auto t = co_await ctx.nextTask(
+                    counters.at((f - 1) * 3 + 2), kMbPerFrame);
+                if (t < 0)
+                    break;
+                int mb = int(t);
+                std::int16_t unquant[256];
+                for (int k = 0; k < 256; k += 4) {
+                    auto two = co_await ctx.load<std::uint64_t>(
+                        coefTmp.at(pix(0, (mb % kMbX) * kMb + (k % kMb),
+                                       (mb / kMbX) * kMb + k / kMb)));
+                    std::memcpy(&unquant[k], &two, 8);
+                }
+                co_await ctx.compute(4 * kQuantCycles);
+                std::uint64_t idx =
+                    (std::uint64_t(f - 1) * kMbPerFrame + mb);
+                for (int k = 0; k < 256; k += 4) {
+                    std::int16_t q[4];
+                    for (int j = 0; j < 4; ++j) {
+                        q[j] = std::int16_t(
+                            unquant[k + j] >> quantShift((k + j) % 64));
+                    }
+                    std::uint64_t two;
+                    std::memcpy(&two, q, 8);
+                    co_await ctx.storeNA<std::uint64_t>(
+                        coefOut.at(idx * 256 + k), two);
+                }
+            }
+            co_await ctx.barrier(*frameBar);
+        }
+    }
+
+    std::uint32_t pFrames;
+    int nthreads = 1;
+    ArrayRef<std::uint8_t> pixels;
+    ArrayRef<std::int8_t> mvOut;
+    ArrayRef<std::int16_t> coefOut;
+    ArrayRef<std::int16_t> residTmp;
+    ArrayRef<std::int16_t> coefTmp;
+    ArrayRef<std::uint32_t> counters;
+    std::unique_ptr<Barrier> frameBar;
+    std::vector<std::uint8_t> hostPix;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMpeg2(const WorkloadParams &p)
+{
+    return std::make_unique<Mpeg2Workload>(p);
+}
+
+} // namespace cmpmem

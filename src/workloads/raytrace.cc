@@ -1,0 +1,583 @@
+/**
+ * @file
+ * KD-tree raytracer, "parallelized across camera rays. We assign
+ * rays to processors in chunks to improve locality. Our streaming
+ * version reads the KD-tree from the cache instead of streaming it
+ * with a DMA controller" (Section 4.2) — the paper's example of an
+ * irregular, pointer-chasing workload where a pure streaming memory
+ * cannot help and the STR system leans on its small cache.
+ *
+ *  - CC: tree, triangles and output all through the coherent cache.
+ *  - STR: the BFS-ordered tree-top is replicated into the local
+ *    store at startup (Section 2.2's "selective data replication"),
+ *    deeper nodes and triangles come through the 8 KB cache
+ *    (ctx.load), and pixel tiles gather in the local store and
+ *    DMA out per 8x8 ray chunk.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr int kImg = 128;       // image is kImg x kImg rays
+constexpr int kChunk = 64;      // rays per task
+constexpr int kLeafTris = 4;
+constexpr int kMaxDepth = 20;
+
+struct Vec3
+{
+    float x, y, z;
+};
+
+Vec3
+sub(Vec3 a, Vec3 b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+Vec3
+cross(Vec3 a, Vec3 b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+float
+dot(Vec3 a, Vec3 b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+float
+axisOf(Vec3 v, int axis)
+{
+    return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+/** Precomputed triangle for Moller-Trumbore: v0, e1, e2. */
+struct HostTri
+{
+    Vec3 v0, e1, e2;
+};
+
+struct HostNode
+{
+    float split = 0;
+    std::int32_t axis = -1; ///< -1: leaf
+    std::uint32_t left = 0, right = 0;
+    std::uint32_t triStart = 0, triCount = 0;
+};
+
+/**
+ * Moller-Trumbore; returns t or +inf. Identical code runs on host
+ * data (reference) and on values loaded from simulated memory
+ * (kernel), so results match bit-exactly.
+ */
+float
+intersectTri(Vec3 o, Vec3 d, const HostTri &tri)
+{
+    constexpr float inf = std::numeric_limits<float>::infinity();
+    Vec3 p = cross(d, tri.e2);
+    float det = dot(tri.e1, p);
+    if (det > -1e-7f && det < 1e-7f)
+        return inf;
+    float invDet = 1.0f / det;
+    Vec3 s = sub(o, tri.v0);
+    float u = dot(s, p) * invDet;
+    if (u < 0.0f || u > 1.0f)
+        return inf;
+    Vec3 q = cross(s, tri.e1);
+    float v = dot(d, q) * invDet;
+    if (v < 0.0f || u + v > 1.0f)
+        return inf;
+    float t = dot(tri.e2, q) * invDet;
+    return t > 1e-6f ? t : inf;
+}
+
+class RaytraceWorkload : public Workload
+{
+  public:
+    explicit RaytraceWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        // 4000 triangles keep per-ray intersection work (and host
+        // simulation cost) tractable while the tree and triangle
+        // data still stress the cache hierarchy.
+        numTris = p.scale > 0 ? 1500u * std::uint32_t(p.scale) : 400u;
+    }
+
+    std::string name() const override { return "raytrace"; }
+
+    double icacheMpki(const SystemConfig &) const override { return 0.4; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        nthreads = sys.cores();
+
+        buildScene();
+
+        nodes = ArrayRef<std::uint8_t>::alloc(
+            mem, hostNodes.size() * kNodeBytes);
+        tris = ArrayRef<float>::alloc(mem, hostTris.size() * 10);
+        triIdx = ArrayRef<std::uint32_t>::alloc(mem, hostTriIdx.size());
+        image = ArrayRef<std::uint32_t>::alloc(
+            mem, std::uint64_t(kImg) * kImg);
+        taskCounter = ArrayRef<std::uint32_t>::alloc(mem, 1);
+        doneBar = std::make_unique<Barrier>(nthreads);
+        mem.write<std::uint32_t>(taskCounter.at(0), 0);
+
+        for (std::size_t i = 0; i < hostNodes.size(); ++i) {
+            Addr base = nodes.at(i * kNodeBytes);
+            mem.write<float>(base + 0, hostNodes[i].split);
+            mem.write<std::int32_t>(base + 4, hostNodes[i].axis);
+            mem.write<std::uint32_t>(base + 8, hostNodes[i].left);
+            mem.write<std::uint32_t>(base + 12, hostNodes[i].right);
+            mem.write<std::uint32_t>(base + 16, hostNodes[i].triStart);
+            mem.write<std::uint32_t>(base + 20, hostNodes[i].triCount);
+        }
+        for (std::size_t i = 0; i < hostTris.size(); ++i) {
+            const float *f = &hostTris[i].v0.x;
+            for (int k = 0; k < 9; ++k)
+                mem.write<float>(tris.at(i * 10 + k), f[k]);
+            mem.write<float>(tris.at(i * 10 + 9), 0.0f); // pad
+        }
+        for (std::size_t i = 0; i < hostTriIdx.size(); ++i)
+            mem.write<std::uint32_t>(triIdx.at(i), hostTriIdx[i]);
+    }
+
+    KernelTask kernel(Context &ctx) override { return kern(ctx); }
+
+    bool
+    verify(CmpSystem &sys) override
+    {
+        auto &mem = sys.mem();
+        for (int py = 0; py < kImg; ++py) {
+            for (int px = 0; px < kImg; ++px) {
+                std::uint32_t want = hostTrace(px, py);
+                auto got = mem.read<std::uint32_t>(
+                    image.at(std::uint64_t(py) * kImg + px));
+                if (got != want)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::uint32_t kNodeBytes = 32;
+
+    static Vec3
+    rayOrigin()
+    {
+        return {0.5f, 0.5f, -2.0f};
+    }
+
+    static Vec3
+    rayDir(int px, int py)
+    {
+        float x = (float(px) + 0.5f) / float(kImg) - 0.5f;
+        float y = (float(py) + 0.5f) / float(kImg) - 0.5f;
+        return {x, y, 1.0f};
+    }
+
+    void
+    buildScene()
+    {
+        Rng rng(31337);
+        hostTris.reserve(numTris);
+        std::vector<Vec3> centroids;
+        for (std::uint32_t i = 0; i < numTris; ++i) {
+            Vec3 v0{float(rng.nextDouble()), float(rng.nextDouble()),
+                    float(rng.nextDouble())};
+            auto jitter = [&]() {
+                return float(rng.nextDouble(-0.015, 0.015));
+            };
+            Vec3 v1{v0.x + jitter(), v0.y + jitter(), v0.z + jitter()};
+            Vec3 v2{v0.x + jitter(), v0.y + jitter(), v0.z + jitter()};
+            hostTris.push_back({v0, sub(v1, v0), sub(v2, v0)});
+            centroids.push_back({v0.x + (hostTris[i].e1.x +
+                                         hostTris[i].e2.x) / 3.0f,
+                                 v0.y + (hostTris[i].e1.y +
+                                         hostTris[i].e2.y) / 3.0f,
+                                 v0.z + (hostTris[i].e1.z +
+                                         hostTris[i].e2.z) / 3.0f});
+        }
+
+        std::vector<std::uint32_t> all(numTris);
+        for (std::uint32_t i = 0; i < numTris; ++i)
+            all[i] = i;
+        buildNode(all, centroids, 0, 0.0f, 1.0f, 0);
+        reorderBfs();
+    }
+
+    /**
+     * Renumber nodes in breadth-first order so that the first N
+     * bytes of the node array are the top levels of the tree — the
+     * prefix the streaming kernel replicates into its local store.
+     */
+    void
+    reorderBfs()
+    {
+        std::vector<std::uint32_t> order;
+        order.push_back(0);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const HostNode &n = hostNodes[order[i]];
+            if (n.axis >= 0) {
+                order.push_back(n.left);
+                order.push_back(n.right);
+            }
+        }
+        std::vector<std::uint32_t> perm(hostNodes.size());
+        for (std::uint32_t ni = 0; ni < order.size(); ++ni)
+            perm[order[ni]] = ni;
+        std::vector<HostNode> renum(hostNodes.size());
+        for (std::uint32_t old = 0; old < hostNodes.size(); ++old) {
+            HostNode n = hostNodes[old];
+            if (n.axis >= 0) {
+                n.left = perm[n.left];
+                n.right = perm[n.right];
+            }
+            renum[perm[old]] = n;
+        }
+        hostNodes = std::move(renum);
+    }
+
+    std::uint32_t
+    buildNode(std::vector<std::uint32_t> &items,
+              const std::vector<Vec3> &centroids, int depth, float lo,
+              float hi, int axis)
+    {
+        std::uint32_t idx = std::uint32_t(hostNodes.size());
+        hostNodes.emplace_back();
+        if (int(items.size()) <= kLeafTris || depth >= kMaxDepth) {
+            hostNodes[idx].axis = -1;
+            hostNodes[idx].triStart = std::uint32_t(hostTriIdx.size());
+            hostNodes[idx].triCount = std::uint32_t(items.size());
+            for (auto t : items)
+                hostTriIdx.push_back(t);
+            return idx;
+        }
+
+        // Centroid-median split: balances the children and keeps
+        // straddle duplication low even in dense regions (a spatial
+        // midpoint degenerates into giant leaves there).
+        std::vector<float> cs;
+        cs.reserve(items.size());
+        for (auto t : items)
+            cs.push_back(axisOf(centroids[t], axis));
+        std::nth_element(cs.begin(), cs.begin() + cs.size() / 2,
+                         cs.end());
+        float split = cs[cs.size() / 2];
+        std::vector<std::uint32_t> below, above;
+        for (auto t : items) {
+            // Triangles straddling the plane (by true extent) go to
+            // both sides.
+            const HostTri &tri = hostTris[t];
+            float v0 = axisOf(tri.v0, axis);
+            float v1 = v0 + axisOf(tri.e1, axis);
+            float v2 = v0 + axisOf(tri.e2, axis);
+            float mn = std::min(v0, std::min(v1, v2));
+            float mx = std::max(v0, std::max(v1, v2));
+            if (mn <= split)
+                below.push_back(t);
+            if (mx >= split)
+                above.push_back(t);
+        }
+        // Give up splitting when duplication stops paying off (big
+        // triangles relative to the cell) -- otherwise straddlers
+        // replicate exponentially with depth.
+        if (below.size() == items.size() ||
+            above.size() == items.size() ||
+            below.size() + above.size() > 2 * items.size() - 2) {
+            hostNodes[idx].axis = -1;
+            hostNodes[idx].triStart = std::uint32_t(hostTriIdx.size());
+            hostNodes[idx].triCount = std::uint32_t(items.size());
+            for (auto t : items)
+                hostTriIdx.push_back(t);
+            return idx;
+        }
+
+        int next_axis = (axis + 1) % 3;
+        std::uint32_t l = buildNode(below, centroids, depth + 1, lo,
+                                    split, next_axis);
+        std::uint32_t r = buildNode(above, centroids, depth + 1,
+                                    split, hi, next_axis);
+        hostNodes[idx].axis = axis;
+        hostNodes[idx].split = split;
+        hostNodes[idx].left = l;
+        hostNodes[idx].right = r;
+        return idx;
+    }
+
+    /** Host-reference trace (same traversal order as the kernel). */
+    std::uint32_t
+    hostTrace(int px, int py) const
+    {
+        constexpr float inf = std::numeric_limits<float>::infinity();
+        Vec3 o = rayOrigin();
+        Vec3 d = rayDir(px, py);
+        float bestT = inf;
+        std::uint32_t bestId = 0;
+
+        struct Item
+        {
+            std::uint32_t node;
+            float tmin, tmax;
+        };
+        std::vector<Item> stack{{0, 0.0f, inf}};
+        while (!stack.empty()) {
+            Item it = stack.back();
+            stack.pop_back();
+            if (it.tmin > bestT)
+                continue;
+            std::uint32_t n = it.node;
+            float tmin = it.tmin, tmax = it.tmax;
+            while (hostNodes[n].axis >= 0) {
+                int ax = hostNodes[n].axis;
+                float split = hostNodes[n].split;
+                float t = (split - axisOf(o, ax)) / axisOf(d, ax);
+                std::uint32_t near = axisOf(o, ax) < split
+                                         ? hostNodes[n].left
+                                         : hostNodes[n].right;
+                std::uint32_t far = axisOf(o, ax) < split
+                                        ? hostNodes[n].right
+                                        : hostNodes[n].left;
+                if (t >= tmax || t < 0) {
+                    n = near;
+                } else if (t <= tmin) {
+                    n = far;
+                } else {
+                    stack.push_back({far, t, tmax});
+                    n = near;
+                    tmax = t;
+                }
+            }
+            for (std::uint32_t k = 0; k < hostNodes[n].triCount; ++k) {
+                std::uint32_t id =
+                    hostTriIdx[hostNodes[n].triStart + k];
+                float t = intersectTri(o, d, hostTris[id]);
+                if (t < bestT) {
+                    bestT = t;
+                    bestId = id + 1;
+                }
+            }
+        }
+        return bestT < inf ? bestId : 0;
+    }
+
+    /** Bytes of tree-top each streaming core pins in its local
+     *  store ("selective data replication", Section 2.2); the
+     *  remaining LS space holds the output tile. */
+    static constexpr std::uint32_t kLsTreeBytes = 20 * 1024;
+
+    /** Timed node loads (two 64-bit accesses per visited node).
+     *  Streaming cores serve the replicated tree-top from the local
+     *  store and fall back to the 8 KB cache for the rest. */
+    Co<HostNode>
+    loadNode(Context &ctx, std::uint32_t n, std::uint32_t ls_resident)
+    {
+        std::uint32_t off = n * kNodeBytes;
+        if (off + kNodeBytes <= ls_resident) {
+            HostNode out;
+            auto w0 = co_await ctx.lsRead<std::uint64_t>(off);
+            std::memcpy(&out.split, &w0, 4);
+            std::uint32_t hi0 = std::uint32_t(w0 >> 32);
+            std::memcpy(&out.axis, &hi0, 4);
+            if (out.axis >= 0) {
+                auto w1 = co_await ctx.lsRead<std::uint64_t>(off + 8);
+                out.left = std::uint32_t(w1);
+                out.right = std::uint32_t(w1 >> 32);
+            } else {
+                auto w2 = co_await ctx.lsRead<std::uint64_t>(off + 16);
+                out.triStart = std::uint32_t(w2);
+                out.triCount = std::uint32_t(w2 >> 32);
+            }
+            co_return out;
+        }
+        Addr base = nodes.at(std::uint64_t(n) * kNodeBytes);
+        HostNode out;
+        auto w0 = co_await ctx.load<std::uint64_t>(base + 0);
+        std::memcpy(&out.split, &w0, 4);
+        std::uint32_t hi = std::uint32_t(w0 >> 32);
+        std::memcpy(&out.axis, &hi, 4);
+        if (out.axis >= 0) {
+            auto w1 = co_await ctx.load<std::uint64_t>(base + 8);
+            out.left = std::uint32_t(w1);
+            out.right = std::uint32_t(w1 >> 32);
+        } else {
+            auto w2 = co_await ctx.load<std::uint64_t>(base + 16);
+            out.triStart = std::uint32_t(w2);
+            out.triCount = std::uint32_t(w2 >> 32);
+        }
+        co_return out;
+    }
+
+    /** Timed triangle load: 40 bytes as five 64-bit accesses. */
+    Co<HostTri>
+    loadTri(Context &ctx, std::uint32_t id)
+    {
+        HostTri t;
+        float f[10];
+        Addr base = tris.at(std::uint64_t(id) * 10);
+        for (int k = 0; k < 5; ++k) {
+            auto w = co_await ctx.load<std::uint64_t>(base + k * 8);
+            std::memcpy(&f[k * 2], &w, 8);
+        }
+        std::memcpy(&t.v0.x, f, 9 * sizeof(float));
+        co_return t;
+    }
+
+    Co<std::uint32_t>
+    traceRaySim(Context &ctx, int px, int py,
+                std::uint32_t ls_resident)
+    {
+        constexpr float inf = std::numeric_limits<float>::infinity();
+        Vec3 o = rayOrigin();
+        Vec3 d = rayDir(px, py);
+        float bestT = inf;
+        std::uint32_t bestId = 0;
+
+        struct Item
+        {
+            std::uint32_t node;
+            float tmin, tmax;
+        };
+        std::vector<Item> stack{{0, 0.0f, inf}};
+        while (!stack.empty()) {
+            Item it = stack.back();
+            stack.pop_back();
+            if (it.tmin > bestT)
+                continue;
+            std::uint32_t n = it.node;
+            float tmin = it.tmin, tmax = it.tmax;
+            HostNode node = co_await loadNode(ctx, n, ls_resident);
+            while (node.axis >= 0) {
+                int ax = node.axis;
+                float split = node.split;
+                co_await ctx.computeFp(3);
+                float t = (split - axisOf(o, ax)) / axisOf(d, ax);
+                std::uint32_t near =
+                    axisOf(o, ax) < split ? node.left : node.right;
+                std::uint32_t far =
+                    axisOf(o, ax) < split ? node.right : node.left;
+                if (t >= tmax || t < 0) {
+                    n = near;
+                } else if (t <= tmin) {
+                    n = far;
+                } else {
+                    stack.push_back({far, t, tmax});
+                    n = near;
+                    tmax = t;
+                }
+                node = co_await loadNode(ctx, n, ls_resident);
+            }
+            for (std::uint32_t k = 0; k < node.triCount; ++k) {
+                auto id = co_await ctx.load<std::uint32_t>(
+                    triIdx.at(node.triStart + k));
+                HostTri tri = co_await loadTri(ctx, id);
+                co_await ctx.computeFp(18);
+                float t = intersectTri(o, d, tri);
+                if (t < bestT) {
+                    bestT = t;
+                    bestId = id + 1;
+                }
+            }
+        }
+        co_return bestT < inf ? bestId : 0;
+    }
+
+    KernelTask
+    kern(Context &ctx)
+    {
+        const bool str = ctx.model() == MemModel::STR;
+        const std::uint64_t rays = std::uint64_t(kImg) * kImg;
+        const std::uint64_t chunkCount = rays / kChunk;
+
+        // Streaming: replicate the BFS-ordered tree-top into the
+        // local store once; the output tile lives above it.
+        std::uint32_t lsResident = 0;
+        std::uint32_t lsTile = 0;
+        if (str) {
+            std::uint32_t tree_bytes =
+                std::uint32_t(hostNodes.size()) * kNodeBytes;
+            lsResident = std::min(kLsTreeBytes, tree_bytes);
+            lsTile = lsResident;
+            auto g = co_await ctx.dmaGet(nodes.at(0), 0, lsResident);
+            co_await ctx.dmaWait(g);
+        }
+
+        // "We assign rays to processors in chunks to improve
+        // locality": a chunk is an 8x8 screen tile, whose rays share
+        // a small KD subtree -- critical for the streaming model,
+        // whose 8 KB cache must capture the per-chunk tree working
+        // set.
+        const int tilesPerRow = kImg / 8;
+        while (true) {
+            auto t = co_await ctx.nextTask(taskCounter.at(0),
+                                           chunkCount);
+            if (t < 0)
+                break;
+            int tx = int(t) % tilesPerRow;
+            int ty = int(t) / tilesPerRow;
+            for (int i = 0; i < kChunk; ++i) {
+                int px = tx * 8 + i % 8;
+                int py = ty * 8 + i / 8;
+                std::uint32_t result =
+                    co_await traceRaySim(ctx, px, py, lsResident);
+                std::uint64_t ray =
+                    std::uint64_t(py) * kImg + std::uint64_t(px);
+                if (str) {
+                    co_await ctx.lsWrite<std::uint32_t>(
+                        lsTile + std::uint32_t(i) * 4, result);
+                } else {
+                    co_await ctx.storeNA<std::uint32_t>(
+                        image.at(ray), result);
+                }
+            }
+            if (str) {
+                // Scatter the tile's eight pixel rows.
+                auto pt = co_await ctx.dmaPutStrided(
+                    image.at(std::uint64_t(ty) * 8 * kImg +
+                             std::uint64_t(tx) * 8),
+                    std::uint64_t(kImg) * 4, 8 * 4, 8, lsTile);
+                co_await ctx.dmaWait(pt);
+            }
+        }
+        co_await ctx.barrier(*doneBar);
+    }
+
+    std::uint32_t numTris;
+    int nthreads = 1;
+    std::vector<HostTri> hostTris;
+    std::vector<HostNode> hostNodes;
+    std::vector<std::uint32_t> hostTriIdx;
+    ArrayRef<std::uint8_t> nodes;
+    ArrayRef<float> tris;
+    ArrayRef<std::uint32_t> triIdx;
+    ArrayRef<std::uint32_t> image;
+    ArrayRef<std::uint32_t> taskCounter;
+    std::unique_ptr<Barrier> doneBar;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRaytrace(const WorkloadParams &p)
+{
+    return std::make_unique<RaytraceWorkload>(p);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,60 @@
+#include "workloads/registry.hh"
+
+#include <functional>
+#include <utility>
+
+#include "sim/log.hh"
+#include "workloads/factories.hh"
+
+namespace cmpmem
+{
+
+namespace
+{
+
+using Factory =
+    std::unique_ptr<Workload> (*)(const WorkloadParams &);
+
+struct Entry
+{
+    const char *name;
+    Factory factory;
+};
+
+/** Table 3 order. */
+constexpr Entry entries[] = {
+    {"mpeg2", &makeMpeg2},
+    {"h264", &makeH264},
+    {"raytrace", &makeRaytrace},
+    {"jpeg_enc", &makeJpegEnc},
+    {"jpeg_dec", &makeJpegDec},
+    {"depth", &makeDepth},
+    {"fem", &makeFem},
+    {"fir", &makeFir},
+    {"art", &makeArt},
+    {"bitonic", &makeBitonic},
+    {"merge", &makeMerge},
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &e : entries)
+        names.push_back(e.name);
+    return names;
+}
+
+std::unique_ptr<Workload>
+createWorkload(const std::string &name, const WorkloadParams &params)
+{
+    for (const auto &e : entries) {
+        if (name == e.name)
+            return e.factory(params);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace cmpmem

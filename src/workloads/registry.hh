@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Name-based factory for the eleven paper workloads.
+ */
+
+#ifndef CMPMEM_WORKLOADS_REGISTRY_HH
+#define CMPMEM_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cmpmem
+{
+
+/** All registered workload names, in the paper's Table 3 order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Instantiate a workload by name ("fir", "bitonic", "merge", "art",
+ * "fem", "depth", "jpeg_enc", "jpeg_dec", "mpeg2", "h264",
+ * "raytrace"). fatal()s on an unknown name.
+ */
+std::unique_ptr<Workload> createWorkload(const std::string &name,
+                                         const WorkloadParams &params = {});
+
+} // namespace cmpmem
+
+#endif // CMPMEM_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Workload framework: the contract every application implements.
+ *
+ * A Workload owns one run: setup() lays out its input data in the
+ * system's functional memory, kernel() produces the coroutine each
+ * core executes (dispatching internally on ctx.model() and the
+ * stream-optimization variant), and verify() checks the computed
+ * output against a host-side reference. All eleven paper
+ * applications (Table 3) implement this interface; see each .cc for
+ * how its parallelization and memory behaviour mirror the paper's
+ * description.
+ */
+
+#ifndef CMPMEM_WORKLOADS_WORKLOAD_HH
+#define CMPMEM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.hh"
+#include "sim/task.hh"
+#include "system/cmp_system.hh"
+
+namespace cmpmem
+{
+
+/** Construction-time knobs common to all workloads. */
+struct WorkloadParams
+{
+    /**
+     * Input-size scale. 1 is the default used by the reproduction
+     * benches (chosen so the full suite runs in minutes on one
+     * host); larger values approach the paper's original sizes.
+     * EXPERIMENTS.md records the mapping per workload.
+     */
+    int scale = 1;
+
+    /**
+     * Apply stream-programming optimizations (blocking, loop
+     * fusion, SoA layout). True is the paper's default for the
+     * Section 5 comparisons; false gives the "original" variants of
+     * Figures 9 and 10 (MPEG-2 and 179.art).
+     */
+    bool streamOptimized = true;
+};
+
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : prm(params) {}
+    virtual ~Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    virtual std::string name() const = 0;
+
+    /** Short variant tag for reports ("base", "orig", ...). */
+    virtual std::string
+    variant() const
+    {
+        return prm.streamOptimized ? "base" : "orig";
+    }
+
+    /**
+     * Characteristic I-cache miss rate (misses per kilo-bundle) for
+     * this variant on the given configuration; see
+     * core/icache_model.hh for why this is a declared parameter.
+     */
+    virtual double
+    icacheMpki(const SystemConfig &cfg) const
+    {
+        (void)cfg;
+        return 0.1;
+    }
+
+    /** Allocate and initialize inputs in sys.mem(). Called once. */
+    virtual void setup(CmpSystem &sys) = 0;
+
+    /** Create the kernel coroutine for one core. */
+    virtual KernelTask kernel(Context &ctx) = 0;
+
+    /** Check outputs against the host reference. */
+    virtual bool verify(CmpSystem &sys) = 0;
+
+    const WorkloadParams &params() const { return prm; }
+
+  protected:
+    WorkloadParams prm;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Configuration-matrix sweep: every workload must verify under every
+ * hardware option the benches toggle (prefetching, PFS, the bank
+ * DRAM model, odd core counts, narrow interconnects). Guards against
+ * a feature working only on the configurations it was developed on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+enum class Variant
+{
+    Prefetch,
+    Pfs,
+    PrefetchPlusPfs,
+    BankDram,
+    SixCores,      ///< non-power-of-two, partial cluster
+    NarrowBus,
+    FastCoresSlowDram,
+};
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Prefetch: return "Prefetch";
+      case Variant::Pfs: return "Pfs";
+      case Variant::PrefetchPlusPfs: return "PrefetchPlusPfs";
+      case Variant::BankDram: return "BankDram";
+      case Variant::SixCores: return "SixCores";
+      case Variant::NarrowBus: return "NarrowBus";
+      case Variant::FastCoresSlowDram: return "FastCoresSlowDram";
+    }
+    return "?";
+}
+
+SystemConfig
+configFor(Variant v, MemModel model)
+{
+    SystemConfig cfg = makeConfig(4, model);
+    switch (v) {
+      case Variant::Prefetch:
+        if (model == MemModel::CC) {
+            cfg.hwPrefetch = true;
+            cfg.prefetchDepth = 4;
+        }
+        break;
+      case Variant::Pfs:
+        cfg.pfsEnabled = (model == MemModel::CC);
+        break;
+      case Variant::PrefetchPlusPfs:
+        if (model == MemModel::CC) {
+            cfg.hwPrefetch = true;
+            cfg.prefetchDepth = 8;
+            cfg.pfsEnabled = true;
+        }
+        break;
+      case Variant::BankDram:
+        cfg.dram.bankModel = true;
+        break;
+      case Variant::SixCores:
+        cfg.cores = 6;
+        break;
+      case Variant::NarrowBus:
+        cfg.net.busWidthBytes = 8;
+        cfg.net.xbarWidthBytes = 8;
+        break;
+      case Variant::FastCoresSlowDram:
+        cfg.coreClockGhz = 6.4;
+        cfg.dram.bandwidthGBps = 1.6;
+        break;
+    }
+    return cfg;
+}
+
+using MatrixCase = std::tuple<std::string, Variant, MemModel>;
+
+std::string
+matrixName(const testing::TestParamInfo<MatrixCase> &info)
+{
+    return std::get<0>(info.param) + "_" +
+           variantName(std::get<1>(info.param)) + "_" +
+           to_string(std::get<2>(info.param));
+}
+
+class ConfigMatrix : public testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(ConfigMatrix, WorkloadVerifies)
+{
+    auto [workload, variant, model] = GetParam();
+    WorkloadParams params;
+    params.scale = 0;
+    SystemConfig cfg = configFor(variant, model);
+    RunResult r = runWorkload(workload, cfg, params);
+    EXPECT_TRUE(r.verified)
+        << workload << " under " << variantName(variant);
+    EXPECT_GT(r.stats.execTicks, 0u);
+}
+
+std::vector<MatrixCase>
+allCases()
+{
+    std::vector<MatrixCase> cases;
+    for (const auto &w : workloadNames()) {
+        for (Variant v :
+             {Variant::Prefetch, Variant::Pfs, Variant::BankDram,
+              Variant::SixCores, Variant::FastCoresSlowDram}) {
+            cases.emplace_back(w, v, MemModel::CC);
+        }
+        cases.emplace_back(w, Variant::BankDram, MemModel::STR);
+        cases.emplace_back(w, Variant::SixCores, MemModel::STR);
+    }
+    // A few targeted extras on the bandwidth-sensitive workloads.
+    for (const char *w : {"fir", "merge", "bitonic"}) {
+        cases.emplace_back(w, Variant::PrefetchPlusPfs, MemModel::CC);
+        cases.emplace_back(w, Variant::NarrowBus, MemModel::CC);
+        cases.emplace_back(w, Variant::NarrowBus, MemModel::STR);
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConfigMatrix,
+                         testing::ValuesIn(allCases()), matrixName);
+
+} // namespace
+} // namespace cmpmem

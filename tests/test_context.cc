@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Context-level API tests: awaitable semantics, functional values,
+ * stall classification per operation type, DMA issue overheads, the
+ * PFS hint plumbing, and model-specific routing (atomics at the L2
+ * in STR, through the coherent L1 in CC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+/** Build a 1-core system and run one kernel over it. */
+template <typename MakeKernel>
+RunStats
+runKernel(MemModel model, MakeKernel make)
+{
+    SystemConfig cfg = makeConfig(1, model);
+    CmpSystem sys(cfg);
+    sys.bindKernel(0, make(sys.context(0)));
+    sys.simulate();
+    return sys.collectStats();
+}
+
+KernelTask
+valueRoundTrip(Context &ctx, Addr a, bool *ok)
+{
+    co_await ctx.store<std::uint64_t>(a, 0x1122334455667788ULL);
+    auto v = co_await ctx.load<std::uint64_t>(a);
+    co_await ctx.store<std::uint16_t>(a + 2, 0xbeef);
+    auto w = co_await ctx.load<std::uint64_t>(a);
+    *ok = (v == 0x1122334455667788ULL) &&
+          (w == 0x11223344beef7788ULL);
+}
+
+TEST(Context, LoadsSeeStoredBytes)
+{
+    bool ok = false;
+    runKernel(MemModel::CC, [&](Context &ctx) {
+        return valueRoundTrip(ctx, 0x10000, &ok);
+    });
+    EXPECT_TRUE(ok);
+}
+
+KernelTask
+countedOps(Context &ctx, Addr a)
+{
+    co_await ctx.compute(10);
+    co_await ctx.computeFp(5);
+    co_await ctx.load<std::uint32_t>(a);
+    co_await ctx.store<std::uint32_t>(a, 1);
+    co_await ctx.atomicFetchAdd32(a + 64, 1);
+}
+
+TEST(Context, InstructionAccountingPerClass)
+{
+    RunStats rs = runKernel(MemModel::CC, [&](Context &ctx) {
+        return countedOps(ctx, 0x20000);
+    });
+    const CoreStats &cs = rs.coreTotal;
+    EXPECT_EQ(cs.bundles, 15u);
+    EXPECT_EQ(cs.fpBundles, 5u);
+    EXPECT_EQ(cs.loads, 1u);
+    EXPECT_EQ(cs.stores, 1u);
+    EXPECT_EQ(cs.atomics, 1u);
+    EXPECT_EQ(cs.instructions(), 15u + 3u);
+    // Fetch counted every instruction.
+    EXPECT_EQ(rs.icacheFetches, 18u);
+}
+
+TEST(Context, AtomicRoutesByModel)
+{
+    // CC: through the coherent L1.
+    RunStats cc = runKernel(MemModel::CC, [&](Context &ctx) {
+        return countedOps(ctx, 0x20000);
+    });
+    EXPECT_EQ(cc.l1Total.atomicOps, 1u);
+    EXPECT_EQ(cc.fabric.remoteAtomics, 0u);
+
+    // STR: at the shared L2's atomic unit.
+    RunStats str = runKernel(MemModel::STR, [&](Context &ctx) {
+        return countedOps(ctx, 0x20000);
+    });
+    EXPECT_EQ(str.l1Total.atomicOps, 0u);
+    EXPECT_EQ(str.fabric.remoteAtomics, 1u);
+}
+
+KernelTask
+pfsStores(Context &ctx, Addr a, int lines)
+{
+    for (int i = 0; i < lines; ++i)
+        co_await ctx.storeNA<std::uint32_t>(a + Addr(i) * 32, 7);
+}
+
+TEST(Context, StoreNaHonoursPfsConfigOnly)
+{
+    // Without PFS, storeNA behaves as a normal allocate-on-write.
+    {
+        SystemConfig cfg = makeConfig(1, MemModel::CC);
+        CmpSystem sys(cfg);
+        Addr a = sys.mem().alloc(64 * 32);
+        sys.bindKernel(0, pfsStores(sys.context(0), a, 32));
+        sys.simulate();
+        RunStats rs = sys.collectStats();
+        EXPECT_EQ(rs.l1Total.pfsStores, 0u);
+        EXPECT_GT(rs.dramReadBytes, 0u); // refills happened
+    }
+    // With PFS, no refill reads at all.
+    {
+        SystemConfig cfg = makeConfig(1, MemModel::CC);
+        cfg.pfsEnabled = true;
+        CmpSystem sys(cfg);
+        Addr a = sys.mem().alloc(64 * 32);
+        sys.bindKernel(0, pfsStores(sys.context(0), a, 32));
+        sys.simulate();
+        RunStats rs = sys.collectStats();
+        EXPECT_EQ(rs.l1Total.pfsStores, 32u);
+        EXPECT_EQ(rs.dramReadBytes, 0u);
+        EXPECT_GT(rs.dramWriteBytes, 0u); // data still written back
+    }
+}
+
+KernelTask
+dmaStridedKernel(Context &ctx, Addr base, bool *ok)
+{
+    // 4 rows of 8 bytes at stride 64, gathered then scattered back
+    // shifted.
+    auto g = co_await ctx.dmaGetStrided(base, 64, 8, 4, 0);
+    co_await ctx.dmaWait(g);
+    auto sum = co_await ctx.lsRead<std::uint64_t>(0);
+    auto p = co_await ctx.dmaPutStrided(base + 8, 64, 8, 4, 0);
+    co_await ctx.dmaWait(p);
+    *ok = sum == 0x0706050403020100ULL;
+}
+
+TEST(Context, DmaStridedThroughContext)
+{
+    SystemConfig cfg = makeConfig(1, MemModel::STR);
+    CmpSystem sys(cfg);
+    Addr base = sys.mem().alloc(4 * 64 + 16);
+    for (int r = 0; r < 4; ++r)
+        for (int b = 0; b < 8; ++b)
+            sys.mem().write<std::uint8_t>(base + Addr(r) * 64 + b,
+                                          std::uint8_t(r * 8 + b));
+    bool ok = false;
+    sys.bindKernel(0, dmaStridedKernel(sys.context(0), base, &ok));
+    sys.simulate();
+    EXPECT_TRUE(ok);
+    // Scatter landed 8 bytes to the right of each row.
+    for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(sys.mem().read<std::uint8_t>(base + Addr(r) * 64 + 8),
+                  std::uint8_t(r * 8));
+    }
+    RunStats rs = sys.collectStats();
+    EXPECT_EQ(rs.coreTotal.dmaCommands, 2u);
+}
+
+KernelTask
+quantumHog(Context &ctx, Cycles total)
+{
+    // One huge compute region: the quantum must chop it into bounded
+    // event-queue excursions without changing the accounted time.
+    for (Cycles i = 0; i < total; i += 10)
+        co_await ctx.compute(10);
+}
+
+TEST(Context, QuantumFlushPreservesComputeTime)
+{
+    SystemConfig cfg = makeConfig(1, MemModel::CC);
+    cfg.quantumCycles = 50;
+    CmpSystem sys(cfg);
+    sys.bindKernel(0, quantumHog(sys.context(0), 100000));
+    Tick end = sys.simulate();
+    EXPECT_EQ(end, 100000u * 1250u);
+    // Many flush events must have fired (at least one per quantum).
+    EXPECT_GT(sys.eventQueue().executed(), 1000u);
+}
+
+KernelTask
+lsRoundTrip(Context &ctx, bool *ok)
+{
+    co_await ctx.lsWrite<float>(100, 2.5f);
+    auto v = co_await ctx.lsRead<float>(100);
+    *ok = (v == 2.5f);
+}
+
+TEST(Context, LocalStoreAccessors)
+{
+    bool ok = false;
+    RunStats rs = runKernel(MemModel::STR, [&](Context &ctx) {
+        return lsRoundTrip(ctx, &ok);
+    });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(rs.lsReads, 1u);
+    EXPECT_EQ(rs.lsWrites, 1u);
+}
+
+} // namespace
+} // namespace cmpmem

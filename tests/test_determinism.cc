@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Determinism and timing-sanity tests. The simulator must be
+ * bit-reproducible (same configuration -> same tick count and same
+ * counters), and speedup curves must behave physically (more cores
+ * never make a data-parallel workload substantially slower).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+struct DetCase
+{
+    const char *workload;
+    MemModel model;
+};
+
+std::string
+detName(const testing::TestParamInfo<DetCase> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           to_string(info.param.model);
+}
+
+class Determinism : public testing::TestWithParam<DetCase>
+{
+};
+
+TEST_P(Determinism, IdenticalRunsProduceIdenticalResults)
+{
+    const DetCase &c = GetParam();
+    WorkloadParams p;
+    p.scale = 0;
+    SystemConfig cfg = makeConfig(4, c.model);
+
+    RunResult a = runWorkload(c.workload, cfg, p);
+    RunResult b = runWorkload(c.workload, cfg, p);
+
+    EXPECT_EQ(a.stats.execTicks, b.stats.execTicks);
+    EXPECT_EQ(a.stats.coreTotal.instructions(),
+              b.stats.coreTotal.instructions());
+    EXPECT_EQ(a.stats.l1Total.demandMisses(),
+              b.stats.l1Total.demandMisses());
+    EXPECT_EQ(a.stats.dramReadBytes, b.stats.dramReadBytes);
+    EXPECT_EQ(a.stats.dramWriteBytes, b.stats.dramWriteBytes);
+    EXPECT_DOUBLE_EQ(a.energy.totalMj(), b.energy.totalMj());
+}
+
+constexpr DetCase kDetCases[] = {
+    {"fir", MemModel::CC},   {"fir", MemModel::STR},
+    {"merge", MemModel::CC}, {"merge", MemModel::STR},
+    {"h264", MemModel::CC},  {"h264", MemModel::STR},
+    {"art", MemModel::CC},   {"art", MemModel::STR},
+};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, Determinism,
+                         testing::ValuesIn(kDetCases), detName);
+
+class ScalingSanity : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ScalingSanity, MoreCoresNeverSubstantiallySlower)
+{
+    WorkloadParams p;
+    p.scale = 0;
+    for (MemModel m : {MemModel::CC, MemModel::STR}) {
+        Tick prev = 0;
+        for (int cores : {1, 4, 16}) {
+            RunResult r =
+                runWorkload(GetParam(), makeConfig(cores, m), p);
+            ASSERT_TRUE(r.verified);
+            if (prev != 0) {
+                // Allow slack for sync-limited tails and channel
+                // saturation, but forbid pathological slowdowns.
+                EXPECT_LT(r.stats.execTicks, prev * 5 / 4)
+                    << GetParam() << " " << to_string(m) << " "
+                    << cores;
+            }
+            prev = r.stats.execTicks;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ScalingSanity,
+                         testing::Values("fir", "depth", "fem",
+                                         "jpeg_enc", "bitonic"));
+
+TEST(TimingSanity, ComponentsNeverExceedExecTime)
+{
+    WorkloadParams p;
+    p.scale = 0;
+    for (MemModel m : {MemModel::CC, MemModel::STR}) {
+        RunResult r = runWorkload("merge", makeConfig(8, m), p);
+        for (const auto &cs : r.stats.perCore) {
+            EXPECT_LE(cs.totalTicks(), r.stats.execTicks + 1)
+                << to_string(m);
+        }
+    }
+}
+
+TEST(TimingSanity, DramBytesMatchAccessCounts)
+{
+    WorkloadParams p;
+    p.scale = 0;
+    RunResult r = runWorkload("fir", makeConfig(4, MemModel::CC), p);
+    // Line-granular channel: bytes are a multiple of 32.
+    EXPECT_EQ(r.stats.dramReadBytes % 32, 0u);
+    EXPECT_EQ(r.stats.dramWriteBytes % 32, 0u);
+}
+
+} // namespace
+} // namespace cmpmem

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Energy model tests: accounting identities, model-structure
+ * differences (tag-less local store, snoop probes), and scaling
+ * behaviour (leakage with time, DRAM energy with traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+RunResult
+run(const char *wl, MemModel m, int cores = 4)
+{
+    WorkloadParams params;
+    params.scale = 0;
+    return runWorkload(wl, makeConfig(cores, m), params);
+}
+
+TEST(Energy, ComponentsArePositiveAndSumToTotal)
+{
+    RunResult r = run("fir", MemModel::CC);
+    const EnergyBreakdown &e = r.energy;
+    EXPECT_GT(e.coreMj, 0.0);
+    EXPECT_GT(e.icacheMj, 0.0);
+    EXPECT_GT(e.dstoreMj, 0.0);
+    EXPECT_GT(e.networkMj, 0.0);
+    EXPECT_GT(e.l2Mj, 0.0);
+    EXPECT_GT(e.dramMj, 0.0);
+    double sum = e.coreMj + e.icacheMj + e.dstoreMj + e.networkMj +
+                 e.l2Mj + e.dramMj;
+    EXPECT_DOUBLE_EQ(sum, e.totalMj());
+}
+
+TEST(Energy, DramEnergyTracksTraffic)
+{
+    RunResult fir = run("fir", MemModel::CC);
+    RunResult depth = run("depth", MemModel::CC);
+    // FIR moves far more off-chip data per unit time than Depth; its
+    // DRAM share of total energy must be larger.
+    double fir_share = fir.energy.dramMj / fir.energy.totalMj();
+    double depth_share = depth.energy.dramMj / depth.energy.totalMj();
+    EXPECT_GT(fir_share, depth_share);
+}
+
+TEST(Energy, LeakageGrowsWithTime)
+{
+    // Same per-event counters, longer runtime -> more static energy.
+    RunStats rs;
+    rs.config = makeConfig(4, MemModel::CC);
+    rs.execTicks = ticksPerMs;
+    EnergyModel model(rs.config.energy);
+    double e1 = model.compute(rs).totalMj();
+    rs.execTicks = 2 * ticksPerMs;
+    double e2 = model.compute(rs).totalMj();
+    EXPECT_GT(e2, e1 * 1.9);
+}
+
+TEST(Energy, TagProbesCheaperThanFullAccesses)
+{
+    // Direct model check: N snoops cost less than N demand accesses.
+    RunStats rs;
+    rs.config = makeConfig(1, MemModel::CC);
+    rs.execTicks = 1;
+    EnergyModel model(rs.config.energy);
+
+    RunStats snoops = rs;
+    snoops.l1Total.snoopsReceived = 1000000;
+    RunStats accesses = rs;
+    accesses.l1Total.loadHits = 1000000;
+    EXPECT_LT(model.compute(snoops).dstoreMj,
+              model.compute(accesses).dstoreMj);
+}
+
+TEST(Energy, LocalStoreAccessCheaperThanCacheAccess)
+{
+    EnergyParams p;
+    EXPECT_LT(p.lsAccessPj, p.l1AccessPj);
+    EXPECT_LT(p.l1TagProbePj, p.smallCacheAccessPj);
+
+    // And end-to-end: a million LS reads (STR) cost less first-level
+    // energy than a million L1 loads (CC) at equal runtime.
+    RunStats cc;
+    cc.config = makeConfig(1, MemModel::CC);
+    cc.execTicks = 1;
+    cc.l1Total.loadHits = 1000000;
+    RunStats str;
+    str.config = makeConfig(1, MemModel::STR);
+    str.config.model = MemModel::STR;
+    str.execTicks = 1;
+    str.lsReads = 1000000;
+    EnergyModel m(p);
+    EXPECT_LT(m.compute(str).dstoreMj, m.compute(cc).dstoreMj);
+}
+
+TEST(Energy, StreamingSavesEnergyOnOutputHeavyWorkloads)
+{
+    // The Figure 4 signal at test scale: for FIR the streaming model
+    // must not consume *more* total energy than write-allocate CC,
+    // and must move no more DRAM bytes.
+    RunResult cc = run("fir", MemModel::CC, 8);
+    RunResult str = run("fir", MemModel::STR, 8);
+    EXPECT_LE(str.stats.dramReadBytes + str.stats.dramWriteBytes,
+              cc.stats.dramReadBytes + cc.stats.dramWriteBytes);
+    EXPECT_LT(str.energy.dramMj, cc.energy.dramMj * 1.05);
+}
+
+} // namespace
+} // namespace cmpmem

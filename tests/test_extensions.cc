@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the modelled-hardware extensions: local-store FIFO mode,
+ * the Section 7 hybrid bulk-prefetch primitive, the optional
+ * bank/open-row DRAM model, and the stats export formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+//
+// Local-store FIFO mode.
+//
+
+TEST(LsFifo, PushPopRoundTrip)
+{
+    LocalStore ls(1024);
+    ls.fifoConfig(0, 128, 64);
+    std::uint8_t in[16], out[16];
+    for (int i = 0; i < 16; ++i)
+        in[i] = std::uint8_t(i * 3);
+    EXPECT_TRUE(ls.fifoPush(0, in, 16));
+    EXPECT_EQ(ls.fifoDepth(0), 16u);
+    EXPECT_TRUE(ls.fifoPop(0, out, 16));
+    EXPECT_EQ(std::memcmp(in, out, 16), 0);
+    EXPECT_EQ(ls.fifoDepth(0), 0u);
+}
+
+TEST(LsFifo, WrapsAroundItsRegion)
+{
+    LocalStore ls(256);
+    ls.fifoConfig(1, 0, 24);
+    std::uint8_t buf[16];
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 16; ++i)
+            buf[i] = std::uint8_t(round * 16 + i);
+        ASSERT_TRUE(ls.fifoPush(1, buf, 16));
+        std::uint8_t got[16];
+        ASSERT_TRUE(ls.fifoPop(1, got, 16));
+        EXPECT_EQ(std::memcmp(buf, got, 16), 0);
+    }
+}
+
+TEST(LsFifo, RefusesOverflowAndUnderflow)
+{
+    LocalStore ls(256);
+    ls.fifoConfig(0, 0, 8);
+    std::uint8_t buf[12] = {};
+    EXPECT_FALSE(ls.fifoPush(0, buf, 12)); // larger than region
+    EXPECT_TRUE(ls.fifoPush(0, buf, 8));
+    EXPECT_FALSE(ls.fifoPush(0, buf, 1)); // full
+    std::uint8_t out[12];
+    EXPECT_TRUE(ls.fifoPop(0, out, 8));
+    EXPECT_FALSE(ls.fifoPop(0, out, 1)); // empty
+}
+
+TEST(LsFifo, IndependentChannels)
+{
+    LocalStore ls(256);
+    ls.fifoConfig(0, 0, 32);
+    ls.fifoConfig(1, 32, 32);
+    std::uint8_t a = 1, b = 2, got = 0;
+    EXPECT_TRUE(ls.fifoPush(0, &a, 1));
+    EXPECT_TRUE(ls.fifoPush(1, &b, 1));
+    EXPECT_TRUE(ls.fifoPop(1, &got, 1));
+    EXPECT_EQ(got, 2);
+    EXPECT_TRUE(ls.fifoPop(0, &got, 1));
+    EXPECT_EQ(got, 1);
+}
+
+//
+// Hybrid bulk prefetch.
+//
+
+KernelTask
+prefetchedScan(Context &ctx, Addr base, int lines, Tick *stall_out)
+{
+    co_await ctx.prefetchBlock(base, std::uint32_t(lines) * 32);
+    // Give the prefetches time to land.
+    co_await ctx.compute(1000);
+    for (int i = 0; i < lines; ++i)
+        co_await ctx.load<std::uint32_t>(base + Addr(i) * 32);
+    *stall_out = ctx.core().stats().loadStallTicks;
+}
+
+KernelTask
+coldScan(Context &ctx, Addr base, int lines, Tick *stall_out)
+{
+    co_await ctx.compute(1000);
+    for (int i = 0; i < lines; ++i)
+        co_await ctx.load<std::uint32_t>(base + Addr(i) * 32);
+    *stall_out = ctx.core().stats().loadStallTicks;
+}
+
+TEST(HybridPrefetch, BulkPrefetchHidesScanLatency)
+{
+    Tick stall_pf = 0, stall_cold = 0;
+    {
+        SystemConfig cfg = makeConfig(1, MemModel::CC);
+        CmpSystem sys(cfg);
+        Addr a = sys.mem().alloc(64 * 32);
+        sys.bindKernel(0, prefetchedScan(sys.context(0), a, 64,
+                                         &stall_pf));
+        sys.simulate();
+        EXPECT_GT(sys.collectStats().l1Total.prefetchesIssued, 0u);
+    }
+    {
+        SystemConfig cfg = makeConfig(1, MemModel::CC);
+        CmpSystem sys(cfg);
+        Addr a = sys.mem().alloc(64 * 32);
+        sys.bindKernel(0, coldScan(sys.context(0), a, 64,
+                                   &stall_cold));
+        sys.simulate();
+    }
+    EXPECT_LT(stall_pf, stall_cold / 4);
+}
+
+//
+// Bank/open-row DRAM model.
+//
+
+TEST(DramBankModel, RowHitsAreFaster)
+{
+    DramConfig cfg;
+    cfg.bankModel = true;
+    DramChannel d(cfg);
+    Tick miss = d.read(0, 0x0, 32) - d.occupancyFor(32);
+    EXPECT_EQ(miss, cfg.accessLatency);
+    // Same row, adjacent line: open-row hit.
+    Tick t1 = d.nextFreeHint();
+    Tick hit = d.read(t1, 0x20, 32) - t1 - d.occupancyFor(32);
+    EXPECT_EQ(hit, cfg.rowHitLatency);
+    EXPECT_EQ(d.rowHits(), 1u);
+    EXPECT_EQ(d.rowMisses(), 1u);
+}
+
+TEST(DramBankModel, BankConflictReopensRow)
+{
+    DramConfig cfg;
+    cfg.bankModel = true;
+    DramChannel d(cfg);
+    Addr row_span = Addr(cfg.rowBytes) * cfg.banks;
+    d.read(0, 0x0, 32);
+    d.read(0, row_span, 32); // same bank, different row
+    d.read(0, 0x0, 32);      // original row was closed
+    EXPECT_EQ(d.rowHits(), 0u);
+    EXPECT_EQ(d.rowMisses(), 3u);
+}
+
+TEST(DramBankModel, FlatModelUnaffected)
+{
+    DramChannel d(DramConfig{});
+    d.read(0, 0x0, 32);
+    d.read(0, 0x20, 32);
+    EXPECT_EQ(d.rowHits(), 0u);
+    EXPECT_EQ(d.rowMisses(), 0u);
+}
+
+TEST(DramBankModel, WorkloadStillVerifies)
+{
+    SystemConfig cfg = makeConfig(1, MemModel::CC);
+    cfg.dram.bankModel = true;
+    WorkloadParams p;
+    p.scale = 0;
+
+    // Run manually so the channel's row statistics are observable.
+    CmpSystem sys(cfg);
+    auto w = createWorkload("fir", p);
+    w->setup(sys);
+    sys.bindKernel(0, w->kernel(sys.context(0)));
+    Tick banked = sys.simulate();
+    EXPECT_TRUE(w->verify(sys));
+    // FIR's sequential streams see open-row hits, though its input
+    // and output streams land in the same banks (the arrays are a
+    // multiple of the bank span apart) and ping-pong rows -- real
+    // DRAM behaviour the flat model cannot show.
+    EXPECT_GT(sys.dram().rowHits(), 1000u);
+
+    RunResult flat =
+        runWorkload("fir", makeConfig(1, MemModel::CC), p);
+    EXPECT_LT(banked, flat.stats.execTicks);
+}
+
+//
+// Stats export.
+//
+
+TEST(StatsExport, JsonAndCsvShapes)
+{
+    StatSet s;
+    s.set("alpha", 1.5);
+    s.set("beta", 2);
+    EXPECT_EQ(s.toJson(), "{\"alpha\": 1.5, \"beta\": 2}");
+    EXPECT_EQ(s.toCsv(), "alpha,beta\n1.5,2\n");
+}
+
+} // namespace
+} // namespace cmpmem

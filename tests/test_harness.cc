@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Harness tests: table formatting, normalized breakdowns, stat-set
+ * export, and the runner contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumnsAndRule)
+{
+    TextTable t({"a", "long_header"});
+    t.addRow({"xxxxxx", "1"});
+    std::string out = t.format();
+    // Header, rule, one row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("xxxxxx"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmt("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPct(0.125), "12.50%");
+}
+
+TEST(NormBreakdown, ComponentsSumToNormalizedTime)
+{
+    RunStats rs;
+    rs.execTicks = 1000;
+    CoreStats c1;
+    c1.usefulTicks = 600;
+    c1.syncTicks = 100;
+    c1.loadStallTicks = 200;
+    c1.storeStallTicks = 100;
+    CoreStats c2;
+    c2.usefulTicks = 500; // finishes early: 500 idle -> sync
+    rs.perCore = {c1, c2};
+
+    NormBreakdown b = normalizedBreakdown(rs, 2000);
+    // Average core busy+idle time = exec time; normalized to 2000.
+    EXPECT_DOUBLE_EQ(b.total(), 0.5);
+    EXPECT_DOUBLE_EQ(b.useful, (600 + 500) / 4000.0);
+    EXPECT_DOUBLE_EQ(b.load, 200 / 4000.0);
+    // Idle tail of core 2 lands in sync.
+    EXPECT_DOUBLE_EQ(b.sync, (100 + 500) / 4000.0);
+}
+
+TEST(NormBreakdown, EmptyAndZeroBaselineAreSafe)
+{
+    RunStats rs;
+    EXPECT_DOUBLE_EQ(normalizedBreakdown(rs, 0).total(), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedBreakdown(rs, 100).total(), 0.0);
+}
+
+TEST(RunStats, StatSetExportCoversKeyCounters)
+{
+    WorkloadParams p;
+    p.scale = 0;
+    RunResult r = runWorkload("fir", makeConfig(2, MemModel::CC), p);
+    StatSet s = r.stats.toStatSet();
+    EXPECT_GT(s.get("exec_ticks"), 0.0);
+    EXPECT_GT(s.get("core.instructions"), 0.0);
+    EXPECT_GT(s.get("l1.load_misses"), 0.0);
+    EXPECT_GT(s.get("dram.read_bytes"), 0.0);
+    EXPECT_GT(s.get("l1.miss_rate"), 0.0);
+    EXPECT_LT(s.get("l1.miss_rate"), 1.0);
+}
+
+TEST(Runner, ReportsWorkloadIdentityAndHostCost)
+{
+    WorkloadParams p;
+    p.scale = 0;
+    p.streamOptimized = false;
+    RunResult r = runWorkload("mpeg2", makeConfig(2, MemModel::CC), p);
+    EXPECT_EQ(r.stats.workload, "mpeg2");
+    EXPECT_EQ(r.stats.variant, "orig");
+    EXPECT_GT(r.hostSeconds, 0.0);
+}
+
+TEST(Registry, AllElevenWorkloadsRegistered)
+{
+    auto names = workloadNames();
+    EXPECT_EQ(names.size(), 11u);
+    for (const auto &n : names) {
+        auto w = createWorkload(n);
+        EXPECT_EQ(w->name(), n);
+    }
+}
+
+TEST(Config, ValidateRejectsNonsense)
+{
+    SystemConfig cfg = makeConfig(16, MemModel::STR);
+    cfg.hwPrefetch = true;
+    EXPECT_DEATH({ cfg.validate(); }, "prefetching");
+
+    SystemConfig cfg2 = makeConfig(0, MemModel::CC);
+    EXPECT_DEATH({ cfg2.validate(); }, "core count");
+}
+
+} // namespace
+} // namespace cmpmem

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Integration / reproduction-shape regression tests: small versions
+ * of the paper's headline results that must keep holding as the
+ * simulator evolves. Each test states the paper claim it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+/** "For data-parallel applications with abundant data reuse, the two
+ *  models perform and scale equally well" — Depth at 16 cores. */
+TEST(Repro, DepthPerformsIdenticallyOnBothModels)
+{
+    RunResult cc = runWorkload("depth", makeConfig(16, MemModel::CC));
+    RunResult str = runWorkload("depth", makeConfig(16, MemModel::STR));
+    double ratio =
+        double(cc.stats.execTicks) / double(str.stats.execTicks);
+    EXPECT_GT(ratio, 0.93);
+    EXPECT_LT(ratio, 1.08);
+    // And it is the compute-bound extreme of Table 3. (Miss *rate*
+    // over kernel-issued accesses is structurally inflated -- see
+    // EXPERIMENTS.md -- so the intensity check uses instructions
+    // per miss.)
+    EXPECT_GT(double(cc.stats.coreTotal.instructions()) /
+                  double(cc.stats.l1Total.demandMisses()),
+              500.0);
+}
+
+/** FIR: "streaming has an energy advantage ... because it avoids
+ *  superfluous refills on output data streams" + double-buffering
+ *  hides latency. */
+TEST(Repro, FirStreamingWinsTimeAndTraffic)
+{
+    RunResult cc = runWorkload("fir", makeConfig(16, MemModel::CC));
+    RunResult str = runWorkload("fir", makeConfig(16, MemModel::STR));
+    EXPECT_LT(str.stats.execTicks, cc.stats.execTicks);
+    EXPECT_LT(str.stats.dramReadBytes, cc.stats.dramReadBytes * 0.7);
+    // CC shows load stalls; STR hides them behind DMA.
+    EXPECT_GT(cc.stats.coreTotal.loadStallTicks,
+              10 * str.stats.coreTotal.loadStallTicks);
+}
+
+/** "Using a no-write-allocate policy for output data in the
+ *  cache-based system reduces the streaming advantage" (Fig 8). */
+TEST(Repro, PfsBringsCcTrafficToStreamingParity)
+{
+    SystemConfig pfs = makeConfig(16, MemModel::CC);
+    pfs.pfsEnabled = true;
+    RunResult cc = runWorkload("fir", makeConfig(16, MemModel::CC));
+    RunResult ccPfs = runWorkload("fir", pfs);
+    RunResult str = runWorkload("fir", makeConfig(16, MemModel::STR));
+
+    auto total = [](const RunResult &r) {
+        return r.stats.dramReadBytes + r.stats.dramWriteBytes;
+    };
+    EXPECT_LT(total(ccPfs), total(cc) * 0.75);
+    EXPECT_LT(double(total(ccPfs)), double(total(str)) * 1.1);
+    EXPECT_GT(double(total(ccPfs)), double(total(str)) * 0.9);
+}
+
+/** "The use of hardware prefetching ... eliminates the streaming
+ *  advantage for some latency-bound applications" (Fig 7). */
+TEST(Repro, PrefetchingClosesTheMergeSortGap)
+{
+    SystemConfig cc = makeConfig(2, MemModel::CC, 3.2, 12.8);
+    SystemConfig pf = cc;
+    pf.hwPrefetch = true;
+    pf.prefetchDepth = 4;
+    SystemConfig str = makeConfig(2, MemModel::STR, 3.2, 12.8);
+
+    Tick t_cc = runWorkload("merge", cc).stats.execTicks;
+    Tick t_pf = runWorkload("merge", pf).stats.execTicks;
+    Tick t_str = runWorkload("merge", str).stats.execTicks;
+
+    EXPECT_LT(t_pf, t_cc / 2);                  // large win
+    EXPECT_LT(double(t_pf), double(t_str) * 1.15); // parity with STR
+}
+
+/** Figure 10: the stream-programming restructure of 179.art gives a
+ *  multi-x speedup on the cache-based system at every core count. */
+TEST(Repro, ArtRestructureGivesLargeSpeedup)
+{
+    WorkloadParams orig;
+    orig.streamOptimized = false;
+    for (int cores : {2, 16}) {
+        Tick t_orig = runWorkload("art", makeConfig(cores, MemModel::CC),
+                                  orig)
+                          .stats.execTicks;
+        Tick t_opt =
+            runWorkload("art", makeConfig(cores, MemModel::CC))
+                .stats.execTicks;
+        EXPECT_GT(double(t_orig) / double(t_opt), 4.0) << cores;
+    }
+}
+
+/** MPEG-2 at 800 MHz: "the two models perform almost identically";
+ *  streaming also moves fewer bytes (no output refills). */
+TEST(Repro, Mpeg2NearParityAt800MHz)
+{
+    RunResult cc = runWorkload("mpeg2", makeConfig(16, MemModel::CC));
+    RunResult str = runWorkload("mpeg2", makeConfig(16, MemModel::STR));
+    double ratio =
+        double(cc.stats.execTicks) / double(str.stats.execTicks);
+    EXPECT_GT(ratio, 0.90);
+    EXPECT_LT(ratio, 1.18);
+    EXPECT_LT(str.stats.dramReadBytes, cc.stats.dramReadBytes * 0.75);
+}
+
+/** H.264: "macroblock parallelism is limited" -> sync dominates the
+ *  16-core breakdown in both models. */
+TEST(Repro, H264SyncLimitedAt16Cores)
+{
+    for (MemModel m : {MemModel::CC, MemModel::STR}) {
+        RunResult r = runWorkload("h264", makeConfig(16, m));
+        NormBreakdown b =
+            normalizedBreakdown(r.stats, r.stats.execTicks);
+        EXPECT_GT(b.sync, b.useful) << to_string(m);
+    }
+}
+
+/** Table 3 ordering: compute intensity ranks depth above mpeg2
+ *  above fir; off-chip bandwidth ranks the other way. */
+TEST(Repro, Table3OrderingHolds)
+{
+    auto instrPerMiss = [](const RunResult &r) {
+        return double(r.stats.coreTotal.instructions()) /
+               double(r.stats.l1Total.demandMisses());
+    };
+    RunResult depth = runWorkload("depth", makeConfig(16, MemModel::CC));
+    RunResult mpeg2 = runWorkload("mpeg2", makeConfig(16, MemModel::CC));
+    RunResult fir = runWorkload("fir", makeConfig(16, MemModel::CC));
+
+    EXPECT_GT(instrPerMiss(depth), instrPerMiss(mpeg2));
+    EXPECT_GT(instrPerMiss(mpeg2), instrPerMiss(fir));
+
+    EXPECT_GT(fir.stats.offChipBytesPerSec(),
+              mpeg2.stats.offChipBytesPerSec());
+    EXPECT_GT(mpeg2.stats.offChipBytesPerSec(),
+              depth.stats.offChipBytesPerSec());
+}
+
+/** Bandwidth + the paper's remedies (Fig 6 / Abstract): at the top
+ *  bandwidth, prefetching plus non-allocating stores eliminate the
+ *  streaming advantage for FIR. (At our calibration FIR stays
+ *  channel-bound at every swept bandwidth, so the raw CC/STR ratio
+ *  floors at the traffic ratio; the remedies attack the traffic.) */
+TEST(Repro, PrefetchPlusPfsEliminateFirStreamingAdvantage)
+{
+    SystemConfig fix = makeConfig(16, MemModel::CC, 3.2, 12.8);
+    fix.hwPrefetch = true;
+    fix.prefetchDepth = 8;
+    fix.pfsEnabled = true;
+    Tick cc_fixed = runWorkload("fir", fix).stats.execTicks;
+    Tick str = runWorkload("fir",
+                           makeConfig(16, MemModel::STR, 3.2, 12.8))
+                   .stats.execTicks;
+    EXPECT_LT(double(cc_fixed) / double(str), 1.1);
+}
+
+/** Energy (Fig 4): where streaming saves, it is the DRAM component
+ *  that shrinks ("the energy differential in nearly every case comes
+ *  from the DRAM system"). */
+TEST(Repro, FirEnergyDifferenceComesFromDram)
+{
+    RunResult cc = runWorkload("fir", makeConfig(16, MemModel::CC));
+    RunResult str = runWorkload("fir", makeConfig(16, MemModel::STR));
+    double dram_delta = cc.energy.dramMj - str.energy.dramMj;
+    double total_delta = cc.energy.totalMj() - str.energy.totalMj();
+    EXPECT_GT(total_delta, 0.0);
+    EXPECT_GT(dram_delta, 0.5 * total_delta);
+}
+
+} // namespace
+} // namespace cmpmem

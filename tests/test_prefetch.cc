@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tagged stream prefetcher tests: stream detection from the miss
+ * history, run-ahead depth, multiple concurrent streams, LRU stream
+ * replacement, and advancement on tagged (prefetched-line) hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/stream_prefetcher.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+constexpr std::uint32_t kLine = 32;
+
+TEST(Prefetcher, SingleMissPrefetchesNothing)
+{
+    StreamPrefetcher pf(PrefetcherConfig{});
+    EXPECT_TRUE(pf.onMiss(0x1000).empty());
+}
+
+TEST(Prefetcher, TwoSequentialMissesEstablishStream)
+{
+    PrefetcherConfig cfg;
+    cfg.depth = 4;
+    StreamPrefetcher pf(cfg);
+    pf.onMiss(0x1000);
+    auto lines = pf.onMiss(0x1000 + kLine);
+    ASSERT_FALSE(lines.empty());
+    // Runs depth lines ahead of the latest miss.
+    EXPECT_EQ(lines.front(), 0x1000 + 2 * kLine);
+    EXPECT_EQ(lines.back(), 0x1000 + kLine + 4 * kLine);
+    EXPECT_EQ(pf.streamsAllocated(), 1u);
+}
+
+TEST(Prefetcher, NonSequentialMissesNeverTrigger)
+{
+    StreamPrefetcher pf(PrefetcherConfig{});
+    EXPECT_TRUE(pf.onMiss(0x1000).empty());
+    EXPECT_TRUE(pf.onMiss(0x5000).empty());
+    EXPECT_TRUE(pf.onMiss(0x2000).empty());
+    EXPECT_TRUE(pf.onMiss(0x1000 + 2 * kLine).empty()); // gap of one
+    EXPECT_EQ(pf.streamsAllocated(), 0u);
+}
+
+TEST(Prefetcher, StreamAdvancesOnContinuedMisses)
+{
+    PrefetcherConfig cfg;
+    cfg.depth = 2;
+    StreamPrefetcher pf(cfg);
+    pf.onMiss(0x1000);
+    auto first = pf.onMiss(0x1000 + kLine);
+    ASSERT_FALSE(first.empty());
+    // The next expected-demand miss extends the run-ahead by one
+    // line without re-issuing what was already requested.
+    auto next = pf.onMiss(0x1000 + 2 * kLine);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_EQ(next.front(), first.back() + kLine);
+}
+
+TEST(Prefetcher, TaggedHitAdvancesStream)
+{
+    PrefetcherConfig cfg;
+    cfg.depth = 2;
+    StreamPrefetcher pf(cfg);
+    pf.onMiss(0x1000);
+    pf.onMiss(0x1000 + kLine);
+    // A demand hit on the prefetched head keeps the stream rolling.
+    auto more = pf.onPrefetchHit(0x1000 + 2 * kLine);
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more.front(), 0x1000 + 4 * kLine);
+    // An unrelated tagged hit is ignored.
+    EXPECT_TRUE(pf.onPrefetchHit(0x9000).empty());
+}
+
+TEST(Prefetcher, TracksFourIndependentStreams)
+{
+    StreamPrefetcher pf(PrefetcherConfig{});
+    // Interleave 4 streams; each second miss establishes one.
+    Addr bases[4] = {0x10000, 0x20000, 0x30000, 0x40000};
+    for (Addr b : bases)
+        EXPECT_TRUE(pf.onMiss(b).empty());
+    for (Addr b : bases)
+        EXPECT_FALSE(pf.onMiss(b + kLine).empty());
+    EXPECT_EQ(pf.streamsAllocated(), 4u);
+    // All four keep advancing.
+    for (Addr b : bases)
+        EXPECT_FALSE(pf.onMiss(b + 2 * kLine).empty());
+    EXPECT_EQ(pf.streamsAllocated(), 4u); // no replacement happened
+}
+
+TEST(Prefetcher, FifthStreamReplacesLru)
+{
+    StreamPrefetcher pf(PrefetcherConfig{});
+    Addr bases[5] = {0x10000, 0x20000, 0x30000, 0x40000, 0x50000};
+    for (Addr b : bases) {
+        pf.onMiss(b);
+        pf.onMiss(b + kLine);
+    }
+    EXPECT_EQ(pf.streamsAllocated(), 5u);
+    // Stream 0 was least recently used and its slot was recycled:
+    // continuing it now allocates afresh rather than advancing.
+    auto res = pf.onMiss(bases[0] + 2 * kLine);
+    EXPECT_TRUE(res.empty()); // predecessor fell out of history too
+}
+
+TEST(Prefetcher, HistoryIsBounded)
+{
+    PrefetcherConfig cfg;
+    cfg.historyEntries = 8;
+    StreamPrefetcher pf(cfg);
+    pf.onMiss(0x1000);
+    // Push 8 unrelated misses to evict 0x1000 from history.
+    for (int i = 0; i < 8; ++i)
+        pf.onMiss(0x100000 + Addr(i) * 0x1000);
+    // The sequential successor no longer finds its predecessor.
+    EXPECT_TRUE(pf.onMiss(0x1000 + kLine).empty());
+}
+
+/** Depth parameter sweep: run-ahead window always equals depth. */
+class PrefetchDepth : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PrefetchDepth, RunAheadMatchesDepth)
+{
+    PrefetcherConfig cfg;
+    cfg.depth = std::uint32_t(GetParam());
+    StreamPrefetcher pf(cfg);
+    pf.onMiss(0x1000);
+    auto lines = pf.onMiss(0x1000 + kLine);
+    EXPECT_EQ(lines.size(), cfg.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PrefetchDepth,
+                         testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace cmpmem

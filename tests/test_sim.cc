@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, clock
+ * conversions, RNG determinism, statistics containers, and the
+ * coroutine plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(100, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        ++fired;
+        eq.schedule(5, [&] { ++fired; });   // same tick
+        eq.schedule(15, [&] { ++fired; });  // later
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Clock, PeriodsMatchTable2Frequencies)
+{
+    EXPECT_EQ(Clock::fromMhz(800).period(), 1250u);
+    EXPECT_EQ(Clock::fromMhz(1600).period(), 625u);
+    EXPECT_EQ(Clock::fromMhz(3200).period(), 313u); // 312.5 rounded
+    EXPECT_EQ(Clock::fromMhz(6400).period(), 156u);
+}
+
+TEST(Clock, CycleTickConversionsRoundTrip)
+{
+    Clock c(1250);
+    EXPECT_EQ(c.cyclesToTicks(4), 5000u);
+    EXPECT_EQ(c.ticksToCycles(5000), 4u);
+    EXPECT_EQ(c.ticksToCycles(5001), 5u); // rounds up
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 1250u);
+    EXPECT_EQ(c.nextEdge(1250), 1250u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123), c(124);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(17), 17u);
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        double e = r.nextDouble(-2.0, 3.0);
+        EXPECT_GE(e, -2.0);
+        EXPECT_LT(e, 3.0);
+    }
+}
+
+TEST(StatSet, AccumulateAndFormat)
+{
+    StatSet a, b;
+    a.set("x", 1);
+    a.add("x", 2);
+    b.set("x", 10);
+    b.set("y", 5);
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 13);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5);
+    EXPECT_TRUE(a.has("y"));
+    EXPECT_FALSE(a.has("z"));
+    EXPECT_DOUBLE_EQ(a.get("z", -1), -1);
+    EXPECT_NE(a.format().find("x"), std::string::npos);
+}
+
+TEST(Histogram, MeanMinMaxPercentile)
+{
+    Histogram h(10, 16);
+    for (std::uint64_t v : {5u, 15u, 25u, 35u, 45u})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 45u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+    EXPECT_LE(h.percentile(0.5), 29u);
+    EXPECT_GE(h.percentile(1.0), 40u);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeSamples)
+{
+    Histogram h(1, 4);
+    h.sample(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+//
+// Coroutine plumbing.
+//
+
+struct ManualAwait
+{
+    std::coroutine_handle<> *slot;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { *slot = h; }
+    void await_resume() const noexcept {}
+};
+
+KernelTask
+simpleKernel(std::coroutine_handle<> *slot, int *progress)
+{
+    *progress = 1;
+    co_await ManualAwait{slot};
+    *progress = 2;
+}
+
+TEST(KernelTask, StartsSuspendedAndRunsToCompletion)
+{
+    std::coroutine_handle<> slot;
+    int progress = 0;
+    KernelTask t = simpleKernel(&slot, &progress);
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(progress, 0); // initial suspend
+    t.resume();
+    EXPECT_EQ(progress, 1);
+    EXPECT_FALSE(t.done());
+    slot.resume();
+    EXPECT_EQ(progress, 2);
+    EXPECT_TRUE(t.done());
+}
+
+Co<int>
+inner(std::coroutine_handle<> *slot)
+{
+    co_await ManualAwait{slot};
+    co_return 42;
+}
+
+KernelTask
+outer(std::coroutine_handle<> *slot, int *result)
+{
+    *result = co_await inner(slot);
+}
+
+TEST(KernelTask, NestedCoResumesThroughChain)
+{
+    std::coroutine_handle<> slot;
+    int result = 0;
+    KernelTask t = outer(&slot, &result);
+    t.resume();
+    EXPECT_EQ(result, 0);
+    // Resuming the leaf suspension propagates the value out through
+    // the Co<int> and completes the kernel.
+    slot.resume();
+    EXPECT_EQ(result, 42);
+    EXPECT_TRUE(t.done());
+}
+
+Co<void>
+level2(std::coroutine_handle<> *slot, std::vector<int> *trace)
+{
+    trace->push_back(2);
+    co_await ManualAwait{slot};
+    trace->push_back(3);
+}
+
+Co<void>
+level1(std::coroutine_handle<> *slot, std::vector<int> *trace)
+{
+    trace->push_back(1);
+    co_await level2(slot, trace);
+    trace->push_back(4);
+}
+
+KernelTask
+level0(std::coroutine_handle<> *slot, std::vector<int> *trace)
+{
+    co_await level1(slot, trace);
+    trace->push_back(5);
+}
+
+TEST(KernelTask, DeeplyNestedSymmetricTransfer)
+{
+    std::coroutine_handle<> slot;
+    std::vector<int> trace;
+    KernelTask t = level0(&slot, &trace);
+    t.resume();
+    EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+    slot.resume();
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_TRUE(t.done());
+}
+
+} // namespace
+} // namespace cmpmem

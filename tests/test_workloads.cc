@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Functional verification of every paper workload on both memory
+ * models: each kernel is a real algorithm, so its output must match
+ * the host-side reference bit-exactly. Also sanity-checks the
+ * model-specific machinery each run is expected to exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpmem.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+struct Case
+{
+    const char *workload;
+    MemModel model;
+};
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           to_string(info.param.model);
+}
+
+class WorkloadFunctional : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadFunctional, VerifiesOn4Cores)
+{
+    const Case &c = GetParam();
+    SystemConfig cfg = makeConfig(4, c.model);
+    WorkloadParams params;
+    params.scale = 0; // tiny inputs for test speed
+
+    RunResult r = runWorkload(c.workload, cfg, params);
+
+    EXPECT_TRUE(r.verified) << c.workload << " output mismatch";
+    EXPECT_GT(r.stats.execTicks, 0u);
+    EXPECT_GT(r.stats.coreTotal.instructions(), 0u);
+
+    if (c.model == MemModel::STR) {
+        // Streaming runs move data with DMA (raytrace keeps its tree
+        // in the small cache but still streams pixels out).
+        EXPECT_GT(r.stats.dmaAccesses, 0u) << c.workload;
+    } else {
+        EXPECT_GT(r.stats.l1Total.demandAccesses(), 0u) << c.workload;
+    }
+
+    // Every run has energy in every live component.
+    EXPECT_GT(r.energy.coreMj, 0.0);
+    EXPECT_GT(r.energy.dramMj, 0.0);
+    EXPECT_GT(r.energy.totalMj(), 0.0);
+}
+
+constexpr Case kCases[] = {
+    {"mpeg2", MemModel::CC},    {"mpeg2", MemModel::STR},
+    {"h264", MemModel::CC},     {"h264", MemModel::STR},
+    {"raytrace", MemModel::CC}, {"raytrace", MemModel::STR},
+    {"jpeg_enc", MemModel::CC}, {"jpeg_enc", MemModel::STR},
+    {"jpeg_dec", MemModel::CC}, {"jpeg_dec", MemModel::STR},
+    {"depth", MemModel::CC},    {"depth", MemModel::STR},
+    {"fem", MemModel::CC},      {"fem", MemModel::STR},
+    {"fir", MemModel::CC},      {"fir", MemModel::STR},
+    {"art", MemModel::CC},      {"art", MemModel::STR},
+    {"bitonic", MemModel::CC},  {"bitonic", MemModel::STR},
+    {"merge", MemModel::CC},    {"merge", MemModel::STR},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadFunctional,
+                         testing::ValuesIn(kCases), caseName);
+
+/** The unoptimized (Figure 9/10) variants must also verify. */
+TEST(WorkloadVariants, UnoptimizedVariantsVerify)
+{
+    WorkloadParams params;
+    params.scale = 0;
+    params.streamOptimized = false;
+    for (const char *name : {"mpeg2", "art"}) {
+        RunResult r =
+            runWorkload(name, makeConfig(4, MemModel::CC), params);
+        EXPECT_TRUE(r.verified) << name;
+    }
+}
+
+/** PFS and prefetch configurations keep outputs correct. */
+TEST(WorkloadVariants, PfsAndPrefetchVerify)
+{
+    WorkloadParams params;
+    params.scale = 0;
+
+    SystemConfig pfs = makeConfig(4, MemModel::CC);
+    pfs.pfsEnabled = true;
+    RunResult r1 = runWorkload("fir", pfs, params);
+    EXPECT_TRUE(r1.verified);
+    EXPECT_GT(r1.stats.l1Total.pfsStores, 0u);
+
+    SystemConfig pf = makeConfig(4, MemModel::CC);
+    pf.hwPrefetch = true;
+    pf.prefetchDepth = 4;
+    RunResult r2 = runWorkload("merge", pf, params);
+    EXPECT_TRUE(r2.verified);
+    EXPECT_GT(r2.stats.l1Total.prefetchesIssued, 0u);
+    EXPECT_GT(r2.stats.l1Total.prefetchesUseful, 0u);
+}
+
+/** Workloads verify across core counts (1, 2, 8, 16). */
+TEST(WorkloadVariants, CoreCountSweepVerifies)
+{
+    WorkloadParams params;
+    params.scale = 0;
+    for (int cores : {1, 2, 8, 16}) {
+        for (MemModel m : {MemModel::CC, MemModel::STR}) {
+            RunResult r = runWorkload("fir", makeConfig(cores, m),
+                                      params);
+            EXPECT_TRUE(r.verified)
+                << cores << " cores " << to_string(m);
+        }
+    }
+}
+
+} // namespace
+} // namespace cmpmem
