@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#
+# Full verification sweep: build and run the test suite in the plain
+# Release configuration, then again with AddressSanitizer + UBSan
+# (CMPMEM_SANITIZE=ON). The sanitized pass exists to catch memory and
+# UB bugs the functional tests would miss; both configurations must
+# be green before a change ships.
+#
+# Usage: scripts/check.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_config() {
+    local dir="$1"
+    shift
+    echo "==> configuring ${dir} ($*)"
+    cmake -S . -B "${dir}" -G Ninja "$@" >/dev/null
+    echo "==> building ${dir}"
+    cmake --build "${dir}" -j "${jobs}"
+    echo "==> testing ${dir}"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config build -DCMAKE_BUILD_TYPE=Release
+run_config build-sanitize -DCMAKE_BUILD_TYPE=Release \
+    -DCMPMEM_SANITIZE=ON
+
+echo "==> all configurations green"

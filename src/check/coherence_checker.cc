@@ -1,0 +1,532 @@
+#include "check/coherence_checker.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "sim/log.hh"
+
+namespace cmpmem
+{
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+bool
+owned(MesiState s)
+{
+    return s == MesiState::Modified || s == MesiState::Exclusive;
+}
+
+/** Transitions that acquire or strengthen a copy via the fabric/core
+ *  (as opposed to losing it to a snoop or eviction). */
+bool
+acquiring(CoherenceChecker::Cause c)
+{
+    using Cause = CoherenceChecker::Cause;
+    return c == Cause::Fill || c == Cause::Upgrade ||
+           c == Cause::PfsAllocate || c == Cause::StoreHit ||
+           c == Cause::AtomicHit;
+}
+
+/** Acquisitions that start a fresh fabric transaction (have a walk). */
+bool
+transactional(CoherenceChecker::Cause c)
+{
+    using Cause = CoherenceChecker::Cause;
+    return c == Cause::Fill || c == Cause::Upgrade ||
+           c == Cause::PfsAllocate;
+}
+
+} // namespace
+
+const char *
+CoherenceChecker::to_string(Cause c)
+{
+    switch (c) {
+      case Cause::Fill: return "fill";
+      case Cause::StoreHit: return "store-hit";
+      case Cause::Upgrade: return "upgrade";
+      case Cause::PfsAllocate: return "pfs-allocate";
+      case Cause::AtomicHit: return "atomic-hit";
+      case Cause::SnoopDowngrade: return "snoop-downgrade";
+      case Cause::SnoopInvalidate: return "snoop-invalidate";
+      case Cause::Evict: return "evict";
+      case Cause::Writeback: return "writeback";
+      case Cause::Drain: return "drain";
+      case Cause::Forged: return "forged";
+    }
+    return "?";
+}
+
+CoherenceChecker::CoherenceChecker(FunctionalMemory &mem,
+                                   std::uint32_t line_bytes,
+                                   const CheckerConfig &config)
+    : fmem(mem), lineBytes(line_bytes), cfg(config)
+{
+}
+
+void
+CoherenceChecker::attachL1(int core, const CacheArray *tags, bool coherent)
+{
+    if (core >= int(coreShadows.size()))
+        coreShadows.resize(core + 1);
+    coreShadows[core].tags = tags;
+    coreShadows[core].coherent = coherent;
+}
+
+bool
+CoherenceChecker::knownCore(int core) const
+{
+    return core >= 0 && core < int(coreShadows.size());
+}
+
+CoherenceChecker::LineShadow &
+CoherenceChecker::shadow(Addr line)
+{
+    LineShadow &ls = lineShadows[line];
+    if (ls.copies.size() < coreShadows.size())
+        ls.copies.resize(coreShadows.size());
+    return ls;
+}
+
+void
+CoherenceChecker::record(LineShadow &ls, Tick t, int core, Addr line,
+                         MesiState from, MesiState to, Cause cause)
+{
+    (void)line;
+    if (ls.trace.size() >= cfg.traceDepth)
+        ls.trace.pop_front();
+    ls.trace.push_back({t, core, from, to, cause});
+}
+
+std::string
+CoherenceChecker::traceFor(Addr line) const
+{
+    auto it = lineShadows.find(line);
+    if (it == lineShadows.end() || it->second.trace.empty())
+        return "    (no transitions recorded)\n";
+    std::string out;
+    for (const TraceRec &r : it->second.trace) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "    @%llu core %d: %s -> %s (%s)\n",
+                      static_cast<unsigned long long>(r.t), r.core,
+                      cmpmem::to_string(r.from), cmpmem::to_string(r.to),
+                      to_string(r.cause));
+        out += buf;
+    }
+    return out;
+}
+
+void
+CoherenceChecker::violation(Tick t, int core, Addr line,
+                            const std::string &what)
+{
+    ++numViolations;
+    if (numViolations <= cfg.maxReportedViolations) {
+        char head[96];
+        std::snprintf(head, sizeof(head),
+                      "coherence violation @%llu core %d line ",
+                      static_cast<unsigned long long>(t), core);
+        reportText += head + hex(line) + ": " + what + "\n" +
+                      "  last transitions for " + hex(line) + ":\n" +
+                      traceFor(line);
+    }
+    if (cfg.failFast)
+        panic("%s", reportText.c_str());
+}
+
+void
+CoherenceChecker::checkConflicts(Tick t, int core, Addr line,
+                                 LineShadow &ls)
+{
+    // The fabric decides snoops at transaction-issue ("walk") time,
+    // but arrays change at install time; a conflicting copy that
+    // materialised after this transaction's walk could not have been
+    // seen and is the documented overlap artifact. A conflict with a
+    // copy that was already settled at (or before) the walk means the
+    // snoop logic really failed -- with exceptions that are all
+    // downstream of the same artifact. The fabric's shortcuts assume
+    // SWMR: a store walk that consumes a local owner skips the global
+    // invalidation broadcast, and a read walk satisfied by a local
+    // supplier never probes the other clusters. Once overlapping
+    // copies coexist, those shortcuts can be taken *on an artifact
+    // copy*, blinding the walk to perfectly innocent copies
+    // elsewhere. So a conflict is excused when (a) the other copy
+    // settled after this walk (the original overlap), (b) the other
+    // copy is the tainted settled partner of an earlier excusal, or
+    // (c) an artifact copy of this line was resident when this walk
+    // issued -- its mere presence means the walk's coverage cannot
+    // be trusted. Ties use >= / <= because same-tick event order is
+    // not visible here; this errs toward excusing.
+    Copy &me = ls.copies[core];
+    bool residue = me.walkTick <= ls.artifactTick;
+    for (std::size_t o = 0; !residue && o < ls.copies.size(); ++o) {
+        const Copy &c = ls.copies[o];
+        if (int(o) != core && c.state != MesiState::Invalid &&
+            (c.excused || c.tainted))
+            residue = true;
+    }
+    for (std::size_t o = 0; o < ls.copies.size(); ++o) {
+        if (int(o) == core || !coreShadows[o].coherent)
+            continue;
+        Copy &other = ls.copies[o];
+        if (other.state == MesiState::Invalid || other.excused)
+            continue;
+        if (!owned(me.state) && !owned(other.state))
+            continue; // S alongside S is fine
+        if (other.stateTick >= me.walkTick || other.tainted ||
+            residue) {
+            if (!me.excused) {
+                me.excused = true;
+                ++numOverlaps;
+            }
+            other.tainted = true;
+            continue;
+        }
+        violation(t, core, line,
+                  std::string("copy acquired as ") +
+                      cmpmem::to_string(me.state) + " conflicts with " +
+                      cmpmem::to_string(other.state) + " on core " +
+                      std::to_string(o) +
+                      " that was already settled when this "
+                      "transaction issued (walk @" +
+                      std::to_string(me.walkTick) +
+                      ", other settled @" +
+                      std::to_string(other.stateTick) +
+                      "): the snoop failed to downgrade/invalidate it");
+    }
+}
+
+void
+CoherenceChecker::checkSwmr(Tick t, Addr line, const LineShadow &ls)
+{
+    int owner = -1;
+    int owners = 0;
+    int sharers = 0;
+    for (std::size_t c = 0; c < ls.copies.size(); ++c) {
+        if (!coreShadows[c].coherent || ls.copies[c].excused)
+            continue;
+        switch (ls.copies[c].state) {
+          case MesiState::Modified:
+          case MesiState::Exclusive:
+            ++owners;
+            owner = int(c);
+            break;
+          case MesiState::Shared:
+            ++sharers;
+            break;
+          case MesiState::Invalid:
+            break;
+        }
+    }
+    if (owners > 1) {
+        violation(t, owner, line,
+                  "single-writer violated: " + std::to_string(owners) +
+                      " cores hold the line Modified/Exclusive");
+    } else if (owners == 1 && sharers > 0) {
+        violation(t, owner, line,
+                  "owned copy (M/E on core " + std::to_string(owner) +
+                      ") coexists with " + std::to_string(sharers) +
+                      " Shared copies");
+    }
+}
+
+void
+CoherenceChecker::checkGolden(Tick t, int core, Addr line,
+                              const char *where)
+{
+    auto it = lineShadows.find(line);
+    if (it == lineShadows.end() || it->second.gold.empty())
+        return;
+    std::vector<std::uint8_t> cur(lineBytes);
+    fmem.read(line, cur.data(), lineBytes);
+    if (cur != it->second.gold) {
+        std::uint32_t off = 0;
+        while (off < lineBytes && cur[off] == it->second.gold[off])
+            ++off;
+        violation(t, core, line,
+                  std::string("data differential failed at ") + where +
+                      ": functional memory diverges from the golden "
+                      "copy at byte offset " +
+                      std::to_string(off) +
+                      " (an unobserved write mutated tracked data)");
+    }
+}
+
+void
+CoherenceChecker::onTransition(Tick t, int core, Addr line,
+                               MesiState from, MesiState to, Cause cause)
+{
+    ++numEvents;
+    if (!knownCore(core))
+        return;
+    LineShadow &ls = shadow(line);
+    Copy &me = ls.copies[core];
+    if (me.state != from) {
+        violation(t, core, line,
+                  std::string("transition claims previous state ") +
+                      cmpmem::to_string(from) + " but the shadow holds " +
+                      cmpmem::to_string(me.state));
+    }
+    record(ls, t, core, line, from, to, cause);
+
+    // A snoop that consumes an artifact copy may have taken the
+    // fabric's owner shortcut on it (see checkConflicts); remember
+    // when, so installs from walks up to this point are excused.
+    if ((me.excused || me.tainted) &&
+        (to == MesiState::Invalid || cause == Cause::SnoopDowngrade))
+        ls.artifactTick = std::max(ls.artifactTick, t);
+
+    me.state = to;
+    me.stateTick = t;
+    if (to == MesiState::Invalid) {
+        me.excused = false;
+        me.tainted = false;
+        me.walkTick = t;
+    } else if (transactional(cause)) {
+        // A fresh fabric transaction created/strengthened this copy;
+        // its snoop decisions were made at MSHR-allocation time.
+        me.excused = false;
+        me.tainted = false;
+        auto it = coreShadows[core].mshrLines.find(line);
+        me.walkTick = it != coreShadows[core].mshrLines.end()
+                          ? it->second : t;
+    } else if (cause == Cause::SnoopDowngrade) {
+        // A remote transaction saw and downgraded this copy, but if
+        // the copy was excused, the overlap partner it conflicts with
+        // is typically still resident (the downgrading walk supplies
+        // from one owner, not both): the excusal must persist until
+        // this copy is invalidated, or the leftover pair would be
+        // misreported as a snoop failure.
+        me.walkTick = t;
+    }
+    // StoreHit/AtomicHit are silent upgrades on an owned copy: they
+    // inherit the owning transaction's walk tick and excusal.
+
+    if (coreShadows[core].coherent && to != MesiState::Invalid &&
+        acquiring(cause))
+        checkConflicts(t, core, line, ls);
+    checkSwmr(t, line, ls);
+}
+
+void
+CoherenceChecker::onStoreData(Tick t, int core, Addr line)
+{
+    (void)t;
+    (void)core;
+    ++numEvents;
+    LineShadow &ls = shadow(line);
+    ls.gold.resize(lineBytes);
+    fmem.read(line, ls.gold.data(), lineBytes);
+}
+
+void
+CoherenceChecker::onWriteback(Tick t, int core, Addr line)
+{
+    ++numEvents;
+    if (wbPending) {
+        violation(t, wbCore, wbLine,
+                  "writeback pairing violated: the L1 writeback never "
+                  "produced a full-line L2 write before the next "
+                  "writeback of line " + hex(line));
+    }
+    wbPending = true;
+    wbLine = line;
+    wbCore = core;
+    LineShadow &ls = shadow(line);
+    record(ls, t, core, line, MesiState::Modified, MesiState::Modified,
+           Cause::Writeback);
+    checkGolden(t, core, line, "writeback");
+}
+
+void
+CoherenceChecker::l2Read(Tick t, Addr line, bool hit)
+{
+    (void)t;
+    (void)line;
+    (void)hit;
+    ++numEvents;
+}
+
+void
+CoherenceChecker::l2Write(Tick t, Addr line, bool full_line, bool hit)
+{
+    (void)hit;
+    ++numEvents;
+    if (wbPending && line == wbLine && full_line)
+        wbPending = false;
+    else if (wbPending && full_line) {
+        violation(t, wbCore, wbLine,
+                  "writeback pairing violated: the fabric announced a "
+                  "writeback of this line but the L2 received line " +
+                      hex(line) + " instead");
+        wbPending = false;
+    }
+}
+
+void
+CoherenceChecker::onMshrAllocate(Tick t, int core, Addr line)
+{
+    ++numEvents;
+    if (!knownCore(core))
+        return;
+    if (!coreShadows[core].mshrLines.emplace(line, t).second) {
+        violation(t, core, line,
+                  "duplicate MSHR allocation: a fill for this line is "
+                  "already outstanding on this core");
+    }
+}
+
+void
+CoherenceChecker::onMshrComplete(Tick t, int core, Addr line)
+{
+    ++numEvents;
+    if (!knownCore(core))
+        return;
+    if (coreShadows[core].mshrLines.erase(line) == 0) {
+        violation(t, core, line,
+                  "MSHR completion for a line with no outstanding "
+                  "allocation on this core");
+    }
+}
+
+void
+CoherenceChecker::onSbInsert(Tick t, int core, Addr line)
+{
+    ++numEvents;
+    if (!knownCore(core))
+        return;
+    if (!coreShadows[core].sbLines.emplace(line, true).second) {
+        violation(t, core, line,
+                  "duplicate store-buffer entry: stores to a pending "
+                  "line must coalesce, not re-insert");
+    }
+}
+
+void
+CoherenceChecker::onSbComplete(Tick t, int core, Addr line)
+{
+    ++numEvents;
+    if (!knownCore(core))
+        return;
+    if (coreShadows[core].sbLines.erase(line) == 0) {
+        violation(t, core, line,
+                  "store-buffer completion for a line that was never "
+                  "inserted on this core");
+    }
+}
+
+std::uint64_t
+CoherenceChecker::audit(Tick t)
+{
+    const std::uint64_t before = numViolations;
+
+    if (wbPending) {
+        violation(t, wbCore, wbLine,
+                  "writeback pairing violated: an L1 writeback was "
+                  "still awaiting its L2 write at audit time");
+        wbPending = false;
+    }
+
+    // Real tag state per (line, core), from the actual arrays.
+    // std::map so violation reports come out in address order.
+    std::map<Addr, std::vector<std::pair<int, MesiState>>> actual;
+    for (std::size_t c = 0; c < coreShadows.size(); ++c) {
+        const CacheArray *tags = coreShadows[c].tags;
+        if (!tags)
+            continue;
+        tags->forEachValid([&](const CacheArray::Line &l) {
+            actual[l.tag].emplace_back(int(c), l.state);
+        });
+    }
+
+    // Shadow agreement: every real valid line must be what the
+    // observed transition stream implies, and vice versa.
+    for (const auto &[line, holders] : actual) {
+        LineShadow &ls = shadow(line);
+        for (const auto &[core, st] : holders) {
+            Copy &me = ls.copies[core];
+            if (me.state != st) {
+                violation(t, core, line,
+                          std::string("audit: real tag state ") +
+                              cmpmem::to_string(st) +
+                              " disagrees with the observed-transition "
+                              "shadow state " +
+                              cmpmem::to_string(me.state));
+                record(ls, t, core, line, me.state, st, Cause::Forged);
+                // Resync so the SWMR pass below judges reality; a
+                // forged copy is never excused, so it counts.
+                me.state = st;
+                me.excused = false;
+                me.tainted = false;
+            }
+        }
+    }
+    for (auto &[line, ls] : lineShadows) {
+        for (std::size_t c = 0; c < ls.copies.size(); ++c) {
+            if (ls.copies[c].state == MesiState::Invalid ||
+                !coreShadows[c].tags)
+                continue;
+            const CacheArray::Line *l = coreShadows[c].tags->lookup(line);
+            if (!l || l->tag != line || !l->valid()) {
+                violation(t, int(c), line,
+                          std::string("audit: shadow holds ") +
+                              cmpmem::to_string(ls.copies[c].state) +
+                              " but the real cache no longer has the "
+                              "line");
+                ls.copies[c].state = MesiState::Invalid;
+                ls.copies[c].excused = false;
+                ls.copies[c].tainted = false;
+            }
+        }
+    }
+
+    // SWMR over the real tags (catches forged states that never went
+    // through onTransition), then the data differential for every
+    // tracked line.
+    for (const auto &[line, holders] : actual) {
+        const LineShadow &ls = shadow(line);
+        int owner = -1;
+        int owners = 0;
+        int sharers = 0;
+        for (const auto &[core, st] : holders) {
+            if (!coreShadows[core].coherent || ls.copies[core].excused)
+                continue;
+            if (st == MesiState::Modified || st == MesiState::Exclusive) {
+                ++owners;
+                owner = core;
+            } else if (st == MesiState::Shared) {
+                ++sharers;
+            }
+        }
+        if (owners > 1) {
+            violation(t, owner, line,
+                      "audit: single-writer violated in the real tags: " +
+                          std::to_string(owners) + " M/E holders");
+        } else if (owners == 1 && sharers > 0) {
+            violation(t, owner, line,
+                      "audit: M/E copy on core " + std::to_string(owner) +
+                          " coexists with " + std::to_string(sharers) +
+                          " Shared copies in the real tags");
+        }
+    }
+    for (const auto &[line, ls] : lineShadows) {
+        if (!ls.gold.empty())
+            checkGolden(t, -1, line, "final audit");
+    }
+
+    return numViolations - before;
+}
+
+} // namespace cmpmem

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Runtime MESI invariant checker.
+ *
+ * The checker is a passive observer: L1 controllers, the coherence
+ * fabric, MSHR files, store buffers, and the L2 report events into it
+ * through null-guarded hooks, and it maintains a shadow copy of the
+ * global coherence state. It verifies:
+ *
+ *  - single-writer / multiple-reader: for any line, at most one
+ *    coherent L1 holds it Modified or Exclusive, and an M/E copy
+ *    never coexists with Shared copies elsewhere;
+ *  - shadow agreement: each cache's real tag state matches the state
+ *    the observed transition stream implies (audited at end of run,
+ *    which is what catches states mutated behind the checker's back);
+ *  - writeback pairing: every L1 writeback announced to the fabric is
+ *    followed by a full-line L2 write of the same line (the design's
+ *    L2 is non-inclusive, so classic L1-subset-of-L2 inclusion does
+ *    not hold; see DESIGN.md "Verification");
+ *  - no duplicate MSHR entries or store-buffer entries for one line;
+ *  - data-value integrity: a golden copy of each stored line is
+ *    captured from FunctionalMemory at store/atomic issue and
+ *    compared against FunctionalMemory again at writeback and at the
+ *    final audit, so any unobserved mutation of tracked data (a
+ *    modelling bug that would silently skew results) is flagged.
+ *
+ * One modelling artifact is tolerated by design. The fabric makes all
+ * snoop decisions synchronously at request-issue ("walk") time, while
+ * cache arrays are updated later at install time; two transactions on
+ * one line whose [walk, install] windows overlap therefore cannot see
+ * each other, and can leave e.g. two Exclusive copies resident (the
+ * benign false-sharing behaviour discussed in DESIGN.md — data values
+ * live in FunctionalMemory, so no wrong value can propagate). The
+ * checker distinguishes this from genuine snoop failures: a conflict
+ * is excused when the conflicting copy settled *after* this
+ * transaction's walk (the overlap itself), when it is the tainted
+ * settled partner of an earlier excusal (the fabric's SWMR-based
+ * shortcuts can carry a stale partner through later walks), or when
+ * any excused/tainted copy of the line was resident at walk time
+ * (those same shortcuts, taken on an artifact copy, blind the walk
+ * to innocent copies elsewhere). A conflict on a line with no
+ * artifact history means the snoop logic really failed, and is
+ * reported. Excused copies are marked and excluded from later SWMR
+ * accounting until they are invalidated.
+ *
+ * Violations never abort by default (CheckerConfig::failFast): they
+ * are counted and the first maxReportedViolations are formatted with
+ * the event-queue timestamp, core id, line address, and a ring-buffer
+ * trace of the last transitions on that line, so a failure is
+ * debuggable from the test log without rerunning.
+ *
+ * The checker allocates nothing on the simulated machine and never
+ * touches the event queue, so attaching it cannot change simulated
+ * timing; when it is not attached (the default) every hook is a
+ * single pointer test.
+ */
+
+#ifndef CMPMEM_CHECK_COHERENCE_CHECKER_HH
+#define CMPMEM_CHECK_COHERENCE_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/functional_memory.hh"
+#include "mem/l2_cache.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+struct CheckerConfig
+{
+    /** Transitions kept per line for the violation trace. */
+    std::size_t traceDepth = 8;
+
+    /** panic() on the first violation instead of counting. */
+    bool failFast = false;
+
+    /** Cap on fully formatted violation reports (counting is exact). */
+    std::size_t maxReportedViolations = 16;
+};
+
+class CoherenceChecker : public L2Cache::Observer
+{
+  public:
+    /** Why a shadow state changed (for the trace). */
+    enum class Cause : std::uint8_t
+    {
+        Fill,            ///< line installed by a fetch
+        StoreHit,        ///< store retired into an owned line
+        Upgrade,         ///< S->M ownership upgrade
+        PfsAllocate,     ///< non-allocating store validated the line
+        AtomicHit,       ///< atomic RMW on an owned line
+        SnoopDowngrade,  ///< remote read snoop, M/E -> S
+        SnoopInvalidate, ///< remote ownership snoop, -> I
+        Evict,           ///< frame reclaimed for another line
+        Writeback,       ///< dirty line pushed toward the L2
+        Drain,           ///< end-of-run dirty drain, M -> E
+        Forged,          ///< state mutated behind the checker's back
+    };
+
+    static const char *to_string(Cause c);
+
+    CoherenceChecker(FunctionalMemory &mem, std::uint32_t line_bytes,
+                     const CheckerConfig &cfg = {});
+
+    /**
+     * Register one L1. @p coherent mirrors L1Config::coherent: the
+     * streaming model's non-coherent caches legitimately hold
+     * overlapping E/M copies, so they are excluded from the SWMR
+     * check (all other checks still apply).
+     */
+    void attachL1(int core, const CacheArray *tags, bool coherent);
+
+    //
+    // Observer hooks. All are O(1)-ish host work and must never
+    // interact with simulated time.
+    //
+
+    /** A cache line state changed on core @p core. */
+    void onTransition(Tick t, int core, Addr line, MesiState from,
+                      MesiState to, Cause cause);
+
+    /**
+     * A store or atomic wrote the functional memory inside @p line
+     * (core < 0 for L2-side remote atomics). Captures the golden
+     * copy used by the writeback/audit differential.
+     */
+    void onStoreData(Tick t, int core, Addr line);
+
+    /** An L1 announced a dirty writeback of @p line to the fabric. */
+    void onWriteback(Tick t, int core, Addr line);
+
+    void onMshrAllocate(Tick t, int core, Addr line);
+    void onMshrComplete(Tick t, int core, Addr line);
+    void onSbInsert(Tick t, int core, Addr line);
+    void onSbComplete(Tick t, int core, Addr line);
+
+    // L2Cache::Observer
+    void l2Read(Tick t, Addr line, bool hit) override;
+    void l2Write(Tick t, Addr line, bool full_line, bool hit) override;
+
+    /**
+     * End-of-run (or any-quiesce-point) sweep: walks every attached
+     * cache's real tags, checks them against the shadow state and
+     * SWMR, and re-runs the data differential for every tracked
+     * line. This is the check that catches forged/unobserved state.
+     * @return number of violations found by this sweep.
+     */
+    std::uint64_t audit(Tick t);
+
+    std::uint64_t violations() const { return numViolations; }
+    std::uint64_t eventsObserved() const { return numEvents; }
+
+    /** Conflicts excused as issue-time-snoop overlap (diagnostic). */
+    std::uint64_t overlapsExcused() const { return numOverlaps; }
+
+    /** Formatted reports of the first violations (empty when clean). */
+    const std::string &report() const { return reportText; }
+
+    /** The ring-buffer transition trace for one line. */
+    std::string traceFor(Addr line) const;
+
+  private:
+    struct TraceRec
+    {
+        Tick t;
+        int core;
+        MesiState from;
+        MesiState to;
+        Cause cause;
+    };
+
+    /** One core's view of one line. */
+    struct Copy
+    {
+        MesiState state = MesiState::Invalid;
+        Tick stateTick = 0; ///< when the current state was established
+        Tick walkTick = 0;  ///< issue time of the creating transaction
+        bool excused = false; ///< overlap artifact; skip in SWMR
+        /**
+         * This copy was the settled partner of an excused overlap.
+         * The fabric's SWMR-based shortcuts (e.g. skipping the global
+         * invalidation broadcast after consuming a local owner) can
+         * then leave it resident through later walks, so conflicts
+         * against it are excused until it is invalidated.
+         */
+        bool tainted = false;
+    };
+
+    struct LineShadow
+    {
+        std::vector<Copy> copies;       ///< per attached core
+        std::vector<std::uint8_t> gold; ///< golden data; empty=untracked
+        std::deque<TraceRec> trace;
+        /**
+         * Latest tick at which an excused/tainted copy of this line
+         * was consumed by a snoop. A walk at or before this tick may
+         * have hit the fabric's owner shortcut on an artifact copy
+         * (invalidate the local owner, skip the global broadcast),
+         * so its snoop coverage cannot be trusted; conflicts raised
+         * by such a walk's install are excused.
+         */
+        Tick artifactTick = 0;
+    };
+
+    struct CoreShadow
+    {
+        const CacheArray *tags = nullptr;
+        bool coherent = true;
+        std::unordered_map<Addr, Tick> mshrLines; ///< line -> alloc tick
+        std::unordered_map<Addr, bool> sbLines;
+    };
+
+    LineShadow &shadow(Addr line);
+    bool knownCore(int core) const;
+    void record(LineShadow &ls, Tick t, int core, Addr line,
+                MesiState from, MesiState to, Cause cause);
+    void checkConflicts(Tick t, int core, Addr line, LineShadow &ls);
+    void checkSwmr(Tick t, Addr line, const LineShadow &ls);
+    void checkGolden(Tick t, int core, Addr line, const char *where);
+    void violation(Tick t, int core, Addr line, const std::string &what);
+
+    FunctionalMemory &fmem;
+    std::uint32_t lineBytes;
+    CheckerConfig cfg;
+    std::vector<CoreShadow> coreShadows;
+    std::unordered_map<Addr, LineShadow> lineShadows;
+
+    /** In-flight fabric writeback awaiting its paired L2 write. */
+    bool wbPending = false;
+    Addr wbLine = 0;
+    int wbCore = -1;
+
+    std::uint64_t numViolations = 0;
+    std::uint64_t numEvents = 0;
+    std::uint64_t numOverlaps = 0;
+    std::string reportText;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_CHECK_COHERENCE_CHECKER_HH

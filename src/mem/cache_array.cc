@@ -74,6 +74,7 @@ CacheArray::allocate(Addr addr, Victim &victim)
     victim.valid = pick->valid();
     victim.dirty = pick->dirty();
     victim.addr = pick->tag;
+    victim.state = pick->state;
 
     pick->tag = lineAddr(addr);
     pick->state = MesiState::Invalid;

@@ -73,6 +73,7 @@ class CacheArray
         bool valid = false;
         bool dirty = false;
         Addr addr = 0;
+        MesiState state = MesiState::Invalid; ///< state when displaced
     };
 
     explicit CacheArray(const CacheGeometry &geom);
@@ -127,6 +128,17 @@ class CacheArray
             }
         }
         return n;
+    }
+
+    /** Invoke @p fn with every valid line, read-only (checker audits). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &line : lines) {
+            if (line.valid())
+                fn(line);
+        }
     }
 
   private:

@@ -10,6 +10,20 @@
 namespace cmpmem
 {
 
+namespace
+{
+
+/** Null-guarded checker notification; no-transition events elided. */
+inline void
+note(CoherenceChecker *ck, Tick t, int core, Addr line, MesiState from,
+     MesiState to, CoherenceChecker::Cause cause)
+{
+    if (ck && from != to)
+        ck->onTransition(t, core, line, from, to, cause);
+}
+
+} // namespace
+
 //
 // CoherenceFabric
 //
@@ -206,6 +220,8 @@ CoherenceFabric::writebackLine(Tick t, int core_id, Addr line)
     const std::uint32_t line_bytes = l2cache.config().lineBytes;
     const int cl = clusterOf(core_id);
     ++stats.writebacks;
+    if (checker)
+        checker->onWriteback(t, core_id, line);
     Tick t1 = bus(cl).transfer(t, line_bytes);
     Tick t2 = xbar.sendFromCluster(t1, cl, line_bytes);
     l2cache.writeLine(t2, line, line_bytes, true);
@@ -238,6 +254,10 @@ Tick
 CoherenceFabric::remoteAtomic(Tick t, int cluster, Addr line)
 {
     ++stats.remoteAtomics;
+    // The L2-side atomic unit mutated functional memory; refresh the
+    // checker's golden copy (no requester core: the op is uncore).
+    if (checker)
+        checker->onStoreData(t, -1, line);
     Tick t1 = bus(cluster).transfer(t, net.requestBytes);
     Tick t2 = xbar.sendFromCluster(t1, cluster, net.requestBytes);
     // One L2 bank pass performs the read-modify-write at the line
@@ -274,6 +294,42 @@ L1Controller::takeSnoopStallCycles()
     return std::exchange(snoopStallCycles, 0);
 }
 
+void
+L1Controller::attachChecker(CoherenceChecker *c)
+{
+    checker = c;
+    if (!c) {
+        mshr.setObserver(nullptr);
+        sb.setObserver(nullptr);
+        return;
+    }
+    c->attachL1(id, &array, cfg.coherent);
+    mshr.setObserver([this](bool allocated, Addr line) {
+        if (allocated)
+            checker->onMshrAllocate(eq.now(), id, line);
+        else
+            checker->onMshrComplete(eq.now(), id, line);
+    });
+    sb.setObserver([this](bool inserted, Addr line) {
+        if (inserted)
+            checker->onSbInsert(eq.now(), id, line);
+        else
+            checker->onSbComplete(eq.now(), id, line);
+    });
+}
+
+void
+L1Controller::forgeStateForTest(Addr addr, MesiState state)
+{
+    Addr line = array.lineAddr(addr);
+    CacheArray::Line *l = array.lookup(line);
+    if (!l) {
+        CacheArray::Victim victim;
+        l = &array.allocate(line, victim);
+    }
+    l->state = state; // deliberately bypasses every checker hook
+}
+
 L1Controller::SnoopResult
 L1Controller::snoop(Addr line, bool invalidate)
 {
@@ -287,6 +343,7 @@ L1Controller::snoop(Addr line, bool invalidate)
     SnoopResult res{true, l->dirty(),
                     l->state == MesiState::Modified ||
                         l->state == MesiState::Exclusive};
+    MesiState prev = l->state;
     if (invalidate) {
         l->state = MesiState::Invalid;
         ++stats.invalidationsReceived;
@@ -294,29 +351,41 @@ L1Controller::snoop(Addr line, bool invalidate)
                l->state == MesiState::Exclusive) {
         l->state = MesiState::Shared;
     }
+    note(checker, eq.now(), id, line, prev, l->state,
+         invalidate ? CoherenceChecker::Cause::SnoopInvalidate
+                    : CoherenceChecker::Cause::SnoopDowngrade);
     return res;
 }
 
 void
-L1Controller::install(Tick t, Addr line, MesiState state, bool prefetched)
+L1Controller::install(Tick t, Addr line, MesiState state, bool prefetched,
+                      CoherenceChecker::Cause cause)
 {
     // A snoop may have raced the fill; (re)check for an existing
     // frame before allocating.
     CacheArray::Line *existing = array.lookup(line);
     if (existing) {
-        if (state == MesiState::Modified)
+        if (state == MesiState::Modified) {
+            note(checker, t, id, line, existing->state,
+                 MesiState::Modified, cause);
             existing->state = MesiState::Modified;
+        }
         return;
     }
 
     CacheArray::Victim victim;
     CacheArray::Line &l = array.allocate(line, victim);
-    if (victim.valid && victim.dirty) {
-        ++stats.writebacks;
-        fabric.writebackLine(t, id, victim.addr);
+    if (victim.valid) {
+        note(checker, t, id, victim.addr, victim.state,
+             MesiState::Invalid, CoherenceChecker::Cause::Evict);
+        if (victim.dirty) {
+            ++stats.writebacks;
+            fabric.writebackLine(t, id, victim.addr);
+        }
     }
     l.state = state;
     l.flags = prefetched ? flagPrefetched : 0;
+    note(checker, t, id, line, MesiState::Invalid, state, cause);
     ++stats.fills;
 }
 
@@ -425,6 +494,8 @@ L1Controller::ensureOwnership(Tick t, Addr line)
     CacheArray::Line *l = array.lookup(line);
     if (l && (l->state == MesiState::Modified ||
               l->state == MesiState::Exclusive)) {
+        note(checker, t, id, line, l->state, MesiState::Modified,
+             CoherenceChecker::Cause::StoreHit);
         l->state = MesiState::Modified;
         sb.complete(line, t);
         return;
@@ -443,12 +514,17 @@ L1Controller::ensureOwnership(Tick t, Addr line)
         mshr.allocate(line, true);
         Tick done = fabric.upgradeLine(t, id, line);
         eq.schedule(done, [this, line, done] {
-            if (CacheArray::Line *cur = array.lookup(line))
+            if (CacheArray::Line *cur = array.lookup(line)) {
+                note(checker, done, id, line, cur->state,
+                     MesiState::Modified,
+                     CoherenceChecker::Cause::Upgrade);
                 cur->state = MesiState::Modified;
             // The frame may have been evicted while the upgrade was
             // in flight; ownership is still ours, so re-install.
-            else
-                install(done, line, MesiState::Modified, false);
+            } else {
+                install(done, line, MesiState::Modified, false,
+                        CoherenceChecker::Cause::Upgrade);
+            }
             Tick when = done;
             mshr.complete(line, when);
             sb.complete(line, when);
@@ -475,7 +551,8 @@ L1Controller::startPfsAllocate(Tick t, Addr line)
     ++stats.pfsStores;
     Tick done = cfg.coherent ? fabric.upgradeLine(t, id, line) : t;
     eq.schedule(std::max(done, t), [this, line, done] {
-        install(done, line, MesiState::Modified, false);
+        install(done, line, MesiState::Modified, false,
+                CoherenceChecker::Cause::PfsAllocate);
         mshr.complete(line, done);
         sb.complete(line, done);
     });
@@ -485,6 +562,11 @@ bool
 L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
 {
     Addr line = array.lineAddr(addr);
+
+    // The core already performed the store's functional effect;
+    // refresh the checker's golden copy of the line.
+    if (checker)
+        checker->onStoreData(t, id, line);
 
     // Coalesce into an already-buffered store to the same line.
     if (sb.contains(line)) {
@@ -496,6 +578,8 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
     if (l && (l->state == MesiState::Modified ||
               l->state == MesiState::Exclusive)) {
         ++stats.storeHits;
+        note(checker, t, id, line, l->state, MesiState::Modified,
+             CoherenceChecker::Cause::StoreHit);
         l->state = MesiState::Modified;
         array.touch(*l);
         return true;
@@ -543,15 +627,68 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
 }
 
 void
+L1Controller::atomicFinish(Tick t, Addr line, Callback cb)
+{
+    CacheArray::Line *cur = array.lookup(line);
+    if (cur && cur->state == MesiState::Shared) {
+        // The atomic merged onto a non-exclusive fill, so other
+        // caches may legitimately hold the line Shared; a silent
+        // S -> M flip here would break single-writer. Acquire
+        // ownership with a real upgrade transaction first.
+        if (mshr.outstanding(line)) {
+            mshr.addWaiter(line, [this, line,
+                                  cb = std::move(cb)](Tick ft) mutable {
+                atomicFinish(ft, line, std::move(cb));
+            });
+            return;
+        }
+        mshr.allocate(line, true);
+        Tick done = fabric.upgradeLine(t, id, line);
+        eq.schedule(done, [this, line, done] {
+            if (CacheArray::Line *c2 = array.lookup(line)) {
+                note(checker, done, id, line, c2->state,
+                     MesiState::Modified,
+                     CoherenceChecker::Cause::Upgrade);
+                c2->state = MesiState::Modified;
+            } else {
+                install(done, line, MesiState::Modified, false,
+                        CoherenceChecker::Cause::Upgrade);
+            }
+            mshr.complete(line, done);
+        });
+        mshr.addWaiter(line, [this, line,
+                              cb = std::move(cb)](Tick ft) mutable {
+            atomicFinish(ft, line, std::move(cb));
+        });
+        return;
+    }
+
+    if (cur) {
+        note(checker, t, id, line, cur->state, MesiState::Modified,
+             CoherenceChecker::Cause::AtomicHit);
+        cur->state = MesiState::Modified;
+    }
+    // No frame: filled and already evicted (pathological); just
+    // charge the time and proceed.
+    cb(t);
+}
+
+void
 L1Controller::atomic(Tick t, Addr addr, Callback cb)
 {
     Addr line = array.lineAddr(addr);
     ++stats.atomicOps;
 
+    // The core already performed the RMW's functional effect.
+    if (checker)
+        checker->onStoreData(t, id, line);
+
     CacheArray::Line *l = array.lookup(line);
     if (l && (l->state == MesiState::Modified ||
               l->state == MesiState::Exclusive) &&
         !sb.contains(line)) {
+        note(checker, t, id, line, l->state, MesiState::Modified,
+             CoherenceChecker::Cause::AtomicHit);
         l->state = MesiState::Modified;
         array.touch(*l);
         // Completion callbacks must never fire synchronously (the
@@ -563,15 +700,8 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
     }
 
     // Acquire ownership, then complete.
-    auto finish = [this, line, cb = std::move(cb)](Tick ft) {
-        if (CacheArray::Line *cur = array.lookup(line)) {
-            cur->state = MesiState::Modified;
-            cb(ft);
-            return;
-        }
-        // Filled and already evicted (pathological); just charge the
-        // time and proceed.
-        cb(ft);
+    auto finish = [this, line, cb = std::move(cb)](Tick ft) mutable {
+        atomicFinish(ft, line, std::move(cb));
     };
 
     if (mshr.outstanding(line)) {
@@ -584,10 +714,15 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
         mshr.allocate(line, true);
         Tick done = fabric.upgradeLine(t, id, line);
         eq.schedule(done, [this, line, done] {
-            if (CacheArray::Line *cur = array.lookup(line))
+            if (CacheArray::Line *cur = array.lookup(line)) {
+                note(checker, done, id, line, cur->state,
+                     MesiState::Modified,
+                     CoherenceChecker::Cause::Upgrade);
                 cur->state = MesiState::Modified;
-            else
-                install(done, line, MesiState::Modified, false);
+            } else {
+                install(done, line, MesiState::Modified, false,
+                        CoherenceChecker::Cause::Upgrade);
+            }
             mshr.complete(line, done);
         });
         mshr.addWaiter(line, std::move(finish));
@@ -609,6 +744,8 @@ L1Controller::drainDirty(Tick t)
     return array.forEachDirty([&](Addr line) {
         ++stats.writebacks;
         fabric.writebackLine(t, id, line);
+        note(checker, t, id, line, MesiState::Modified,
+             MesiState::Exclusive, CoherenceChecker::Cause::Drain);
     });
 }
 

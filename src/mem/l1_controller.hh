@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/coherence_checker.hh"
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
 #include "mem/interconnect.hh"
@@ -107,6 +108,9 @@ class CoherenceFabric
     /** L1s register in core-id order (CC model only). */
     void registerL1(L1Controller *l1);
 
+    /** Attach the runtime coherence checker (null to detach). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
+
     int clusterOf(int core_id) const { return core_id / clusterSize; }
     int clusters() const { return numClusters; }
     int cores() const { return numCores; }
@@ -183,6 +187,7 @@ class CoherenceFabric
     std::vector<std::unique_ptr<LocalBus>> buses;
     Crossbar xbar;
     std::vector<L1Controller *> l1s;
+    CoherenceChecker *checker = nullptr;
     FabricCounters stats;
 };
 
@@ -216,6 +221,22 @@ class L1Controller
 
     /** Attach a hardware prefetcher (CC model, when enabled). */
     void setPrefetcher(StreamPrefetcher *pf) { prefetcher = pf; }
+
+    /**
+     * Attach the runtime coherence checker: registers this cache's
+     * tags with it and installs MSHR/store-buffer observers. Hooks
+     * are pointer-guarded and never touch the event queue, so the
+     * simulated timing is identical with or without a checker.
+     */
+    void attachChecker(CoherenceChecker *c);
+
+    /**
+     * Test-only: overwrite a line's MESI state behind the checker's
+     * back (allocating a frame if needed), to validate that the
+     * checker's audit catches illegal states. Never used by the
+     * simulator proper.
+     */
+    void forgeStateForTest(Addr addr, MesiState state);
 
     /**
      * Issue a load at tick @p t.
@@ -281,10 +302,19 @@ class L1Controller
     void issuePrefetchLine(Tick t, Addr pf_line);
 
     /** Install a fetched line; evicts and writes back as needed. */
-    void install(Tick t, Addr line, MesiState state, bool prefetched);
+    void install(Tick t, Addr line, MesiState state, bool prefetched,
+                 CoherenceChecker::Cause cause =
+                     CoherenceChecker::Cause::Fill);
 
     /** Issue/chain an ownership upgrade for a buffered store. */
     void ensureOwnership(Tick t, Addr line);
+
+    /**
+     * Complete an atomic once its line is resident: silently claim
+     * M from E/M, or issue a real upgrade when the atomic merged
+     * onto a non-exclusive fill and the line landed Shared.
+     */
+    void atomicFinish(Tick t, Addr line, Callback cb);
 
     /** Start a PFS allocate (invalidate-only) transaction. */
     void startPfsAllocate(Tick t, Addr line);
@@ -299,6 +329,7 @@ class L1Controller
     MshrFile mshr;
     StoreBuffer sb;
     StreamPrefetcher *prefetcher = nullptr;
+    CoherenceChecker *checker = nullptr;
     Cycles snoopStallCycles = 0;
     L1Counters stats;
 };

@@ -53,11 +53,15 @@ L2Cache::readLine(Tick when, Addr line, bool &hit)
         hit = true;
         ++numHits;
         bank.tags.touch(*l);
+        if (obs)
+            obs->l2Read(when, line, true);
         return ready;
     }
 
     hit = false;
     ++numMisses;
+    if (obs)
+        obs->l2Read(when, line, false);
     Tick dram_ready = dram.read(ready, line, cfg.lineBytes);
 
     CacheArray::Victim victim;
@@ -84,10 +88,14 @@ L2Cache::writeLine(Tick when, Addr line, std::uint32_t bytes,
         ++numHits;
         bank.tags.touch(*l);
         l->state = MesiState::Modified;
+        if (obs)
+            obs->l2Write(when, line, full_line, true);
         return done;
     }
 
     ++numMisses;
+    if (obs)
+        obs->l2Write(when, line, full_line, false);
     if (!full_line) {
         // Partial-line write to a missing line: refill from DRAM
         // first (read-modify-write), then install dirty.

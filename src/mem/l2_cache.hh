@@ -42,7 +42,23 @@ struct L2Config
 class L2Cache
 {
   public:
+    /**
+     * Passive observer over L2 traffic (the coherence checker's view
+     * of the writeback side of the hierarchy). Hooks fire after the
+     * hit/miss outcome is known and must not affect timing.
+     */
+    struct Observer
+    {
+        virtual ~Observer() = default;
+        virtual void l2Read(Tick t, Addr line, bool hit) = 0;
+        virtual void l2Write(Tick t, Addr line, bool full_line,
+                             bool hit) = 0;
+    };
+
     L2Cache(const L2Config &cfg, DramChannel &dram);
+
+    /** Attach an observer (null to detach). */
+    void setObserver(Observer *o) { obs = o; }
 
     /** Which bank serves @p line (for crossbar port selection). */
     int bankFor(Addr line) const;
@@ -98,6 +114,7 @@ class L2Cache
 
     L2Config cfg;
     DramChannel &dram;
+    Observer *obs = nullptr;
     std::vector<std::unique_ptr<Bank>> bankArray;
 
     std::uint64_t numHits = 0;

@@ -25,6 +25,8 @@ MshrFile::allocate(Addr line, bool exclusive)
     entries.emplace(line, Entry{exclusive, {}});
     ++numAllocs;
     peak = std::max<std::uint64_t>(peak, entries.size());
+    if (obs)
+        obs(true, line);
 }
 
 bool
@@ -54,6 +56,8 @@ MshrFile::complete(Addr line, Tick fill_tick)
     // new miss to the same line.
     std::vector<Waiter> waiters = std::move(it->second.waiters);
     entries.erase(it);
+    if (obs)
+        obs(false, line);
     for (auto &w : waiters)
         w(fill_tick);
 }

@@ -30,7 +30,13 @@ class MshrFile
   public:
     using Waiter = std::function<void(Tick fill_tick)>;
 
+    /** Passive observer: (allocated, line) on allocate/complete. */
+    using Observer = std::function<void(bool allocated, Addr line)>;
+
     explicit MshrFile(std::size_t capacity = 16);
+
+    /** Attach a coherence-checker observer (null to detach). */
+    void setObserver(Observer o) { obs = std::move(o); }
 
     /** Is there already an outstanding fill for this line? */
     bool outstanding(Addr line) const;
@@ -75,6 +81,7 @@ class MshrFile
     };
 
     std::size_t cap;
+    Observer obs;
     std::unordered_map<Addr, Entry> entries;
     std::uint64_t numMerges = 0;
     std::uint64_t numAllocs = 0;

@@ -15,6 +15,8 @@ StoreBuffer::insert(Addr line)
     assert(!contains(line));
     lines.emplace(line, true);
     ++numInserts;
+    if (obs)
+        obs(true, line);
 }
 
 void
@@ -23,6 +25,8 @@ StoreBuffer::complete(Addr line, Tick when)
     auto it = lines.find(line);
     assert(it != lines.end());
     lines.erase(it);
+    if (obs)
+        obs(false, line);
     if (spaceWaiter) {
         SpaceWaiter w = std::move(spaceWaiter);
         spaceWaiter = nullptr;

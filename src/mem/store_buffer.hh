@@ -28,7 +28,13 @@ class StoreBuffer
   public:
     using SpaceWaiter = std::function<void(Tick)>;
 
+    /** Passive observer: (inserted, line) on insert/complete. */
+    using Observer = std::function<void(bool inserted, Addr line)>;
+
     explicit StoreBuffer(std::size_t capacity = 8);
+
+    /** Attach a coherence-checker observer (null to detach). */
+    void setObserver(Observer o) { obs = std::move(o); }
 
     bool full() const { return lines.size() >= cap; }
     bool empty() const { return lines.empty(); }
@@ -62,6 +68,7 @@ class StoreBuffer
 
   private:
     std::size_t cap;
+    Observer obs;
     std::unordered_map<Addr, bool> lines;
     SpaceWaiter spaceWaiter;
     std::uint64_t numInserts = 0;

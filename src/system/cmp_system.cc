@@ -18,6 +18,12 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
                                             cfg.clusterSize, *l2cache,
                                             *dramChannel);
 
+    if (cfg.checkCoherence) {
+        check = std::make_unique<CoherenceChecker>(fmem, cfg.lineBytes);
+        fab->attachChecker(check.get());
+        l2cache->setObserver(check.get());
+    }
+
     const Clock clock = cfg.coreClock();
     const bool cc = (cfg.model == MemModel::CC);
 
@@ -33,6 +39,8 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
         l1c.cyclePeriod = clock.period();
         l1Vec.push_back(
             std::make_unique<L1Controller>(i, l1c, eq, *fab));
+        if (check)
+            l1Vec.back()->attachChecker(check.get());
 
         if (cc && cfg.hwPrefetch) {
             PrefetcherConfig pc;
@@ -95,6 +103,11 @@ CmpSystem::simulate()
     for (auto &l1 : l1Vec)
         l1->drainDirty(finish);
     l2cache->drainDirty();
+
+    // With the machine quiesced and drained, sweep the real tag
+    // arrays against the checker's shadow state and golden data.
+    if (check)
+        check->audit(finish);
 
     return finish;
 }
@@ -170,6 +183,11 @@ CmpSystem::collectStats() const
     rs.dramWriteBytes = dramChannel->writeBytes();
     rs.dramBusyTicks = dramChannel->busyTicks();
 
+    if (check) {
+        rs.checkerViolations = check->violations();
+        rs.checkerEvents = check->eventsObserved();
+    }
+
     return rs;
 }
 
@@ -214,6 +232,8 @@ RunStats::toStatSet() const
     s.set("dram.write_bytes", double(dramWriteBytes));
     s.set("dram.busy_ticks", double(dramBusyTicks));
     s.set("offchip_bytes_per_sec", offChipBytesPerSec());
+    s.set("checker.violations", double(checkerViolations));
+    s.set("checker.events", double(checkerEvents));
     return s;
 }
 

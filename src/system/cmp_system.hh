@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/coherence_checker.hh"
 #include "core/context.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
@@ -59,6 +60,10 @@ struct RunStats
     std::uint64_t dramReadBytes = 0;
     std::uint64_t dramWriteBytes = 0;
     Tick dramBusyTicks = 0;
+
+    /** Runtime MESI checker results (zero when not attached). */
+    std::uint64_t checkerViolations = 0;
+    std::uint64_t checkerEvents = 0;
 
     double execSeconds() const
     {
@@ -110,6 +115,10 @@ class CmpSystem
     L2Cache &l2() { return *l2cache; }
     DramChannel &dram() { return *dramChannel; }
 
+    /** The runtime MESI checker (null unless cfg.checkCoherence). */
+    CoherenceChecker *checker() { return check.get(); }
+    const CoherenceChecker *checker() const { return check.get(); }
+
     /** Attach core @p i's kernel coroutine. */
     void bindKernel(int i, KernelTask task);
 
@@ -130,6 +139,7 @@ class CmpSystem
     std::unique_ptr<DramChannel> dramChannel;
     std::unique_ptr<L2Cache> l2cache;
     std::unique_ptr<CoherenceFabric> fab;
+    std::unique_ptr<CoherenceChecker> check;
     std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers;
     std::vector<std::unique_ptr<L1Controller>> l1Vec;
     std::vector<std::unique_ptr<LocalStore>> lsVec;

@@ -41,6 +41,14 @@ struct SystemConfig
     /** Honour non-allocating stores (PrepareForStore). */
     bool pfsEnabled = false;
 
+    /**
+     * Attach the runtime MESI invariant checker (see src/check/).
+     * Off by default: with no checker attached every hook is a
+     * single pointer test and simulated timing is bit-identical to
+     * a build without the checker.
+     */
+    bool checkCoherence = false;
+
     /** First-level data storage (constant capacity across models). */
     std::uint32_t ccL1SizeBytes = 32 * 1024;
     std::uint32_t ccL1Assoc = 2;

@@ -36,6 +36,14 @@ constexpr Entry entries[] = {
     {"merge", &makeMerge},
 };
 
+/**
+ * Creatable by name but hidden from workloadNames(): not paper
+ * applications, so table/figure sweeps must never iterate them.
+ */
+constexpr Entry hiddenEntries[] = {
+    {"stress", &makeStress},
+};
+
 } // namespace
 
 std::vector<std::string>
@@ -51,6 +59,10 @@ std::unique_ptr<Workload>
 createWorkload(const std::string &name, const WorkloadParams &params)
 {
     for (const auto &e : entries) {
+        if (name == e.name)
+            return e.factory(params);
+    }
+    for (const auto &e : hiddenEntries) {
         if (name == e.name)
             return e.factory(params);
     }

@@ -15,6 +15,7 @@
 #ifndef CMPMEM_WORKLOADS_WORKLOAD_HH
 #define CMPMEM_WORKLOADS_WORKLOAD_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,20 @@ struct WorkloadParams
      * Figures 9 and 10 (MPEG-2 and 179.art).
      */
     bool streamOptimized = true;
+
+    /**
+     * Seed for workloads whose access pattern is itself randomized
+     * (currently only the coherence stress generator). Ordinary
+     * paper workloads use fixed input seeds and ignore this.
+     */
+    std::uint64_t seed = 1;
+
+    /**
+     * Cores per sharing group in the stress generator: cores in one
+     * group hammer the same hot lines; different groups use
+     * different lines. Clamped to [1, cores].
+     */
+    int sharingDegree = 4;
 };
 
 class Workload

@@ -8,19 +8,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <vector>
 
+#include "check/coherence_checker.hh"
 #include "sim/rng.hh"
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
 #include "mem/functional_memory.hh"
 #include "mem/interconnect.hh"
 #include "mem/l2_cache.hh"
+#include "mem/l1_controller.hh"
 #include "mem/mshr.hh"
 #include "mem/resource.hh"
 #include "mem/store_buffer.hh"
+#include "sim/event_queue.hh"
 
 namespace cmpmem
 {
@@ -237,6 +241,143 @@ TEST(StoreBuffer, FillDrainAndSpaceWaiter)
     EXPECT_EQ(woke, 555u);
     EXPECT_FALSE(sb.full());
     EXPECT_EQ(sb.fullStalls(), 1u);
+}
+
+TEST(StoreBuffer, ObserverSeesInsertAndComplete)
+{
+    StoreBuffer sb(2);
+    int inserts = 0, completes = 0;
+    sb.setObserver([&](bool inserted, Addr line) {
+        EXPECT_EQ(line, Addr(0x20));
+        inserted ? ++inserts : ++completes;
+    });
+    sb.insert(0x20);
+    sb.complete(0x20, 100);
+    EXPECT_EQ(inserts, 1);
+    EXPECT_EQ(completes, 1);
+    // An entry can be re-inserted once its predecessor completed.
+    sb.insert(0x20);
+    EXPECT_EQ(inserts, 2);
+}
+
+//
+// Store-buffer behaviour at the L1 level: coalescing, the weak
+// consistency model (loads bypass parked store misses), and PFS
+// stores skipping the allocate fetch.
+//
+
+class L1StoreBufferFixture : public testing::Test
+{
+  protected:
+    void
+    build(L1Config cfg = {})
+    {
+        checker = std::make_unique<CoherenceChecker>(fmem, 32);
+        dram = std::make_unique<DramChannel>(DramConfig{});
+        l2 = std::make_unique<L2Cache>(L2Config{}, *dram);
+        fabric = std::make_unique<CoherenceFabric>(
+            InterconnectConfig{}, 1, 4, *l2, *dram);
+        l1 = std::make_unique<L1Controller>(0, cfg, eq, *fabric);
+        l1->attachChecker(checker.get());
+    }
+
+    MesiState
+    state(Addr a)
+    {
+        const auto *line = l1->tags().lookup(a);
+        return line ? line->state : MesiState::Invalid;
+    }
+
+    /** Tick of the first recorded transition on @p line. */
+    Tick
+    firstTransitionTick(Addr line)
+    {
+        unsigned long long t = 0;
+        std::sscanf(checker->traceFor(line).c_str(), "    @%llu", &t);
+        return Tick(t);
+    }
+
+    EventQueue eq;
+    FunctionalMemory fmem;
+    std::unique_ptr<CoherenceChecker> checker;
+    std::unique_ptr<DramChannel> dram;
+    std::unique_ptr<L2Cache> l2;
+    std::unique_ptr<CoherenceFabric> fabric;
+    std::unique_ptr<L1Controller> l1;
+};
+
+TEST_F(L1StoreBufferFixture, StoresCoalesceIntoPendingEntry)
+{
+    build();
+    // Three stores into one line while its ownership transaction is
+    // in flight: one miss, two merges, a single fill at the end.
+    l1->store(0, 0x100, false, [](Tick) {});
+    l1->store(0, 0x104, false, [](Tick) {});
+    l1->store(0, 0x11c, false, [](Tick) {});
+    EXPECT_EQ(l1->counters().storeMisses, 1u);
+    EXPECT_EQ(l1->counters().storeMerged, 2u);
+    eq.run();
+    EXPECT_EQ(state(0x100), MesiState::Modified);
+    EXPECT_EQ(l1->counters().fills, 1u);
+}
+
+TEST_F(L1StoreBufferFixture, LoadsBypassParkedStoreMiss)
+{
+    build();
+    // Warm a line so the later load hits.
+    l1->load(0, 0x300, [](Tick) {});
+    eq.run();
+    ASSERT_EQ(state(0x300), MesiState::Exclusive);
+
+    // Weak consistency: the store miss parks in the buffer and the
+    // core retires it immediately (accepted, no stall); a younger
+    // load hit completes while the store is still in flight.
+    EXPECT_TRUE(l1->store(eq.now(), 0x200, false, [](Tick) {}));
+    EXPECT_EQ(state(0x200), MesiState::Invalid); // still parked
+
+    bool hit = l1->load(eq.now(), 0x300, [](Tick) {});
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(state(0x200), MesiState::Invalid); // load did not wait
+
+    eq.run();
+    EXPECT_EQ(state(0x200), MesiState::Modified); // drained at last
+}
+
+TEST_F(L1StoreBufferFixture, DrainCompletesParkedStoresInIssueOrder)
+{
+    build();
+    // Park several distinct-line store misses, then drain: each
+    // buffered store retires, and their ownership transactions
+    // complete in the order the misses entered the buffer (the
+    // cluster bus serializes them).
+    for (int i = 0; i < 4; ++i)
+        l1->store(0, Addr(0x1000) + Addr(i) * 0x40, false,
+                  [](Tick) {});
+    EXPECT_EQ(l1->counters().storeMisses, 4u);
+    eq.run();
+    Tick prev = 0;
+    for (int i = 0; i < 4; ++i) {
+        const Addr line = Addr(0x1000) + Addr(i) * 0x40;
+        EXPECT_EQ(state(line), MesiState::Modified);
+        const Tick filled = firstTransitionTick(line);
+        ASSERT_GT(filled, 0u) << i;
+        EXPECT_LE(prev, filled) << i;
+        prev = filled;
+    }
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(L1StoreBufferFixture, PfsStoreBypassesAllocateFetch)
+{
+    build();
+    // A prepare-for-store miss validates the line without fetching
+    // its old contents: no DRAM read traffic, line lands Modified.
+    const auto dram_reads = dram->readBytes();
+    l1->store(0, 0x400, true, [](Tick) {});
+    eq.run();
+    EXPECT_EQ(dram->readBytes(), dram_reads);
+    EXPECT_EQ(state(0x400), MesiState::Modified);
+    EXPECT_EQ(l1->counters().pfsStores, 1u);
 }
 
 //
