@@ -6,6 +6,10 @@
  * numbers while leaving the CC-vs-STR comparison intact — evidence
  * that the paper's flat-latency simplification is safe for its
  * conclusions.
+ *
+ * Row-hit statistics come straight from RunStats (the pre-engine
+ * version hand-built a third CmpSystem just to read the channel
+ * counters).
  */
 
 #include <cstdio>
@@ -19,42 +23,40 @@ main()
 {
     std::printf("Ablation: flat vs bank/open-row DRAM model "
                 "(16 cores @ 800 MHz)\n\n");
+
+    SweepSpec spec("ablation_dram");
+    spec.base(makeConfig(16, MemModel::CC))
+        .baseParams(benchParams())
+        .workloads({"fir", "merge"})
+        .axis("dram",
+              {{"flat", [](SweepJob &j) { j.cfg.dram.bankModel = false; }},
+               {"banked", [](SweepJob &j) { j.cfg.dram.bankModel = true; }}})
+        .modelAxis();
+    SweepResult res = runSweep(spec);
+
     TextTable table({"workload", "dram model", "CC exec (ms)",
                      "STR exec (ms)", "STR/CC", "row hit rate"});
-
     for (const char *name : {"fir", "merge"}) {
-        for (bool banked : {false, true}) {
-            double exec[2] = {0, 0};
-            double row_hits = 0, row_total = 0;
-            int i = 0;
-            for (MemModel m : {MemModel::CC, MemModel::STR}) {
-                SystemConfig cfg = makeConfig(16, m);
-                cfg.dram.bankModel = banked;
-                RunResult r = runWorkload(name, cfg, benchParams());
-                exec[i++] = r.stats.execSeconds() * 1e3;
-                (void)r;
-            }
-            // Row-hit statistics from a dedicated run (the channel
-            // object is internal to the system).
-            SystemConfig cfg = makeConfig(16, MemModel::CC);
-            cfg.dram.bankModel = banked;
-            CmpSystem sys(cfg);
-            auto w = createWorkload(name, benchParams());
-            w->setup(sys);
-            for (int c = 0; c < sys.cores(); ++c)
-                sys.bindKernel(c, w->kernel(sys.context(c)));
-            sys.simulate();
-            row_hits = double(sys.dram().rowHits());
-            row_total = row_hits + double(sys.dram().rowMisses());
-
+        for (const char *dram : {"flat", "banked"}) {
+            const RunResult &cc = res.runOf(
+                fmt("%s/dram=%s/model=CC", name, dram));
+            const RunResult &str = res.runOf(
+                fmt("%s/dram=%s/model=STR", name, dram));
+            double cc_ms = cc.stats.execSeconds() * 1e3;
+            double str_ms = str.stats.execSeconds() * 1e3;
+            double row_hits = double(cc.stats.dramRowHits);
+            double row_total =
+                row_hits + double(cc.stats.dramRowMisses);
             table.addRow(
-                {name, banked ? "bank/open-row" : "flat 70ns",
-                 fmtF(exec[0], 3), fmtF(exec[1], 3),
-                 fmtF(exec[1] / exec[0], 3),
+                {name,
+                 dram == std::string("banked") ? "bank/open-row"
+                                               : "flat 70ns",
+                 fmtF(cc_ms, 3), fmtF(str_ms, 3),
+                 fmtF(str_ms / cc_ms, 3),
                  row_total > 0 ? fmtPct(row_hits / row_total)
                                : std::string("-")});
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

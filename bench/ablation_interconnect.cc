@@ -20,14 +20,29 @@ main()
     std::printf("Ablation: interconnect width sweep (16 cores CC @ "
                 "3.2 GHz, bandwidth-hungry FIR)\n\n");
 
+    SweepSpec spec("ablation_interconnect");
+    spec.base(makeConfig(16, MemModel::CC, 3.2))
+        .baseParams(benchParams())
+        .workloads({"fir"})
+        .axis("bus", {8, 16, 32, 64},
+              [](SystemConfig &cfg, double v) {
+                  cfg.net.busWidthBytes = std::uint32_t(v);
+              },
+              0)
+        .axis("xbar", {8, 16},
+              [](SystemConfig &cfg, double v) {
+                  cfg.net.xbarWidthBytes = std::uint32_t(v);
+              },
+              0);
+    SweepResult res = runSweep(spec);
+
     TextTable table({"bus bytes", "xbar bytes", "exec (ms)",
                      "bus busy frac", "verified"});
     for (std::uint32_t bus : {8u, 16u, 32u, 64u}) {
         for (std::uint32_t xbar : {8u, 16u}) {
+            const RunResult &r =
+                res.runOf(fmt("fir/bus=%u/xbar=%u", bus, xbar));
             SystemConfig cfg = makeConfig(16, MemModel::CC, 3.2);
-            cfg.net.busWidthBytes = bus;
-            cfg.net.xbarWidthBytes = xbar;
-            RunResult r = runWorkload("fir", cfg, benchParams());
             // Bus utilization from aggregate bytes and beat time.
             double busy =
                 double(r.stats.busBytes / bus) *
@@ -40,5 +55,5 @@ main()
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

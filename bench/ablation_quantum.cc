@@ -17,22 +17,30 @@ main()
 {
     std::printf("Ablation: core time-quantum sweep (FIR and merge, "
                 "16 cores CC)\n\n");
+
+    // The q=100 point doubles as the reference row (the pre-engine
+    // version simulated it twice).
+    SweepSpec spec("ablation_quantum");
+    spec.base(makeConfig(16, MemModel::CC))
+        .baseParams(benchParams())
+        .workloads({"fir", "merge"})
+        .axis("q", {10, 50, 100, 400, 1600},
+              [](SystemConfig &cfg, double v) {
+                  cfg.quantumCycles = Cycles(v);
+              },
+              0);
+    SweepResult res = runSweep(spec);
+
     TextTable table({"workload", "quantum (cycles)", "exec (ms)",
                      "vs q=100", "host (s)", "verified"});
-
     for (const char *name : {"fir", "merge"}) {
-        SystemConfig ref_cfg = makeConfig(16, MemModel::CC);
-        ref_cfg.quantumCycles = 100;
-        double ref = runWorkload(name, ref_cfg, benchParams())
+        double ref = res.runOf(fmt("%s/q=100", name))
                          .stats.execSeconds() *
                      1e3;
-        for (Cycles q : {10u, 50u, 100u, 400u, 1600u}) {
-            SystemConfig cfg = makeConfig(16, MemModel::CC);
-            cfg.quantumCycles = q;
-            RunResult r = runWorkload(name, cfg, benchParams());
+        for (int q : {10, 50, 100, 400, 1600}) {
+            const RunResult &r = res.runOf(fmt("%s/q=%d", name, q));
             double ms = r.stats.execSeconds() * 1e3;
-            table.addRow({name, fmt("%llu", (unsigned long long)q),
-                          fmtF(ms, 4),
+            table.addRow({name, fmt("%d", q), fmtF(ms, 4),
                           fmt("%+.2f%%", 100.0 * (ms - ref) / ref),
                           fmtF(r.hostSeconds, 2),
                           r.verified ? "yes" : "NO"});
@@ -41,5 +49,5 @@ main()
     std::printf("%s", table.format().c_str());
     std::printf("\n(small |%%| deltas everywhere are the expected "
                 "result)\n");
-    return 0;
+    return finishBench(res);
 }

@@ -27,17 +27,29 @@ main()
     orig.streamOptimized = false;
     WorkloadParams opt = benchParams();
 
-    RunResult base =
-        runWorkload("art", makeConfig(1, MemModel::CC), opt);
+    SweepSpec spec("fig10_stream_opt_art");
+    spec.base(makeConfig(16, MemModel::CC))
+        .workloads({"art"})
+        .axis("cores", {2, 4, 8, 16},
+              [](SystemConfig &cfg, double v) { cfg.cores = int(v); },
+              0)
+        .axis("variant",
+              {{"orig", [orig](SweepJob &j) { j.params = orig; }},
+               {"opt", [opt](SweepJob &j) { j.params = opt; }}});
+    spec.baseline({"art/base", "art", makeConfig(1, MemModel::CC),
+                   opt, {},
+                   {{"workload", "art"}, {"role", "baseline"}}});
+    SweepResult res = runSweep(spec);
 
+    const RunResult &base = res.runOf("art/base");
     TextTable table({"CPUs", "variant", "total", "useful", "sync",
                      "load", "store", "speedup", "verified"});
     for (int cores : {2, 4, 8, 16}) {
         double orig_total = 0;
         for (bool optimized : {false, true}) {
-            RunResult r = runWorkload("art",
-                                      makeConfig(cores, MemModel::CC),
-                                      optimized ? opt : orig);
+            const RunResult &r = res.runOf(
+                fmt("art/cores=%d/variant=%s", cores,
+                    optimized ? "opt" : "orig"));
             NormBreakdown b =
                 normalizedBreakdown(r.stats, base.stats.execTicks);
             if (!optimized)
@@ -52,5 +64,5 @@ main()
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

@@ -10,6 +10,10 @@
  * nearly identical across models; 179.art, FIR, MergeSort show CC
  * load stalls that STR double-buffering removes; BitonicSort STR
  * loses at 16 cores; H.264 and MergeSort grow Sync components.
+ *
+ * Execution goes through the sweep engine: per workload, one 1-core
+ * CC baseline job plus the {cores} x {model} points that depend on
+ * it, all scheduled on the worker pool.
  */
 
 #include <cstdio>
@@ -24,10 +28,28 @@ main()
     std::printf("Figure 2: normalized execution time breakdown "
                 "(800 MHz, no prefetching)\n\n");
 
+    SweepSpec spec("fig2_scaling");
     for (const auto &name : workloadNames()) {
-        RunResult base =
-            runWorkload(name, makeConfig(1, MemModel::CC),
-                        benchParams());
+        const std::string base_id = name + "/base";
+        spec.point({base_id, name, makeConfig(1, MemModel::CC),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+        for (int cores : {2, 4, 8, 16}) {
+            for (MemModel m : {MemModel::CC, MemModel::STR}) {
+                spec.point({fmt("%s/cores=%d/model=%s", name.c_str(),
+                                cores, to_string(m)),
+                            name, makeConfig(cores, m), benchParams(),
+                            {base_id},
+                            {{"workload", name},
+                             {"cores", fmt("%d", cores)},
+                             {"model", to_string(m)}}});
+            }
+        }
+    }
+    SweepResult res = runSweep(spec);
+
+    for (const auto &name : workloadNames()) {
+        const RunResult &base = res.runOf(name + "/base");
         std::printf("%s (baseline 1-core CC: %.3f ms)%s\n",
                     name.c_str(), base.stats.execSeconds() * 1e3,
                     base.verified ? "" : " [VERIFY FAILED]");
@@ -36,8 +58,9 @@ main()
                          "load", "store", "verified"});
         for (int cores : {2, 4, 8, 16}) {
             for (MemModel m : {MemModel::CC, MemModel::STR}) {
-                RunResult r = runWorkload(name, makeConfig(cores, m),
-                                          benchParams());
+                const RunResult &r = res.runOf(
+                    fmt("%s/cores=%d/model=%s", name.c_str(), cores,
+                        to_string(m)));
                 NormBreakdown b = normalizedBreakdown(
                     r.stats, base.stats.execTicks);
                 table.addRow({fmt("%d", cores), to_string(m),
@@ -49,5 +72,5 @@ main()
         }
         std::printf("%s\n", table.format().c_str());
     }
-    return 0;
+    return finishBench(res);
 }

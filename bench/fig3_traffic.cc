@@ -23,17 +23,31 @@ main()
 {
     std::printf("Figure 3: off-chip traffic, 16 CPUs @ 800 MHz, "
                 "normalized to one caching core\n\n");
+
+    SweepSpec spec("fig3_traffic");
+    for (const char *name : {"fem", "mpeg2", "fir", "bitonic"}) {
+        const std::string base_id = std::string(name) + "/base";
+        spec.point({base_id, name, makeConfig(1, MemModel::CC),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+        for (MemModel m : {MemModel::CC, MemModel::STR}) {
+            spec.point({fmt("%s/model=%s", name, to_string(m)), name,
+                        makeConfig(16, m), benchParams(), {base_id},
+                        {{"workload", name}, {"model", to_string(m)}}});
+        }
+    }
+    SweepResult res = runSweep(spec);
+
     TextTable table({"Application", "model", "read", "write", "total",
                      "verified"});
-
     for (const char *name : {"fem", "mpeg2", "fir", "bitonic"}) {
-        RunResult base = runWorkload(name, makeConfig(1, MemModel::CC),
-                                     benchParams());
+        const RunResult &base =
+            res.runOf(std::string(name) + "/base");
         double denom =
             double(base.stats.dramReadBytes + base.stats.dramWriteBytes);
         for (MemModel m : {MemModel::CC, MemModel::STR}) {
-            RunResult r =
-                runWorkload(name, makeConfig(16, m), benchParams());
+            const RunResult &r =
+                res.runOf(fmt("%s/model=%s", name, to_string(m)));
             table.addRow({name, to_string(m),
                           fmtF(r.stats.dramReadBytes / denom, 3),
                           fmtF(r.stats.dramWriteBytes / denom, 3),
@@ -45,5 +59,5 @@ main()
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

@@ -23,16 +23,29 @@ main()
 {
     std::printf("Figure 4: energy breakdown, 16 CPUs @ 800 MHz, "
                 "normalized to one caching core\n\n");
+
+    SweepSpec spec("fig4_energy");
+    for (const char *name : {"fem", "mpeg2", "fir", "bitonic"}) {
+        const std::string base_id = std::string(name) + "/base";
+        spec.point({base_id, name, makeConfig(1, MemModel::CC),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+        for (MemModel m : {MemModel::CC, MemModel::STR}) {
+            spec.point({fmt("%s/model=%s", name, to_string(m)), name,
+                        makeConfig(16, m), benchParams(), {base_id},
+                        {{"workload", name}, {"model", to_string(m)}}});
+        }
+    }
+    SweepResult res = runSweep(spec);
+
     TextTable table({"Application", "model", "core", "I$", "D$/LMem",
                      "net", "L2", "DRAM", "total", "verified"});
-
     for (const char *name : {"fem", "mpeg2", "fir", "bitonic"}) {
-        RunResult base = runWorkload(name, makeConfig(1, MemModel::CC),
-                                     benchParams());
-        double denom = base.energy.totalMj();
+        double denom =
+            res.runOf(std::string(name) + "/base").energy.totalMj();
         for (MemModel m : {MemModel::CC, MemModel::STR}) {
-            RunResult r =
-                runWorkload(name, makeConfig(16, m), benchParams());
+            const RunResult &r =
+                res.runOf(fmt("%s/model=%s", name, to_string(m)));
             const EnergyBreakdown &e = r.energy;
             table.addRow(
                 {name, to_string(m), fmtF(e.coreMj / denom, 3),
@@ -45,5 +58,5 @@ main()
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

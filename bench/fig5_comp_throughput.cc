@@ -25,9 +25,29 @@ main()
     std::printf("Figure 5: computational-throughput scaling, 16 cores"
                 "\n\n");
 
+    SweepSpec spec("fig5_comp_throughput");
     for (const char *name : {"mpeg2", "fir", "bitonic"}) {
-        RunResult base = runWorkload(
-            name, makeConfig(1, MemModel::CC, 0.8), benchParams());
+        const std::string base_id = std::string(name) + "/base";
+        spec.point({base_id, name, makeConfig(1, MemModel::CC, 0.8),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+        for (double ghz : {0.8, 1.6, 3.2, 6.4}) {
+            for (MemModel m : {MemModel::CC, MemModel::STR}) {
+                spec.point({fmt("%s/ghz=%.1f/model=%s", name, ghz,
+                                to_string(m)),
+                            name, makeConfig(16, m, ghz),
+                            benchParams(), {base_id},
+                            {{"workload", name},
+                             {"ghz", fmtF(ghz, 1)},
+                             {"model", to_string(m)}}});
+            }
+        }
+    }
+    SweepResult res = runSweep(spec);
+
+    for (const char *name : {"mpeg2", "fir", "bitonic"}) {
+        const RunResult &base =
+            res.runOf(std::string(name) + "/base");
         std::printf("%s (baseline 1-core CC @ 0.8 GHz)\n", name);
 
         TextTable table({"GHz", "model", "total", "useful", "sync",
@@ -35,8 +55,9 @@ main()
         for (double ghz : {0.8, 1.6, 3.2, 6.4}) {
             double cc_total = 0;
             for (MemModel m : {MemModel::CC, MemModel::STR}) {
-                RunResult r = runWorkload(
-                    name, makeConfig(16, m, ghz), benchParams());
+                const RunResult &r =
+                    res.runOf(fmt("%s/ghz=%.1f/model=%s", name, ghz,
+                                  to_string(m)));
                 NormBreakdown b = normalizedBreakdown(
                     r.stats, base.stats.execTicks);
                 if (m == MemModel::CC)
@@ -52,5 +73,5 @@ main()
         }
         std::printf("%s\n", table.format().c_str());
     }
-    return 0;
+    return finishBench(res);
 }

@@ -24,44 +24,57 @@ main()
     std::printf("Figure 6: FIR vs off-chip bandwidth, 16 cores @ "
                 "3.2 GHz\n\n");
 
-    RunResult base = runWorkload("fir", makeConfig(1, MemModel::CC, 0.8),
-                                 benchParams());
+    // Bandwidth x model cross-product over the declared axes, with
+    // the 1-core baseline and the two prefetch remedies as explicit
+    // points ("the introduction of techniques such as hardware
+    // prefetching and non-allocating stores to the cache-based model
+    // eliminates the streaming advantage" -- Abstract).
+    SweepSpec spec("fig6_bandwidth");
+    spec.base(makeConfig(16, MemModel::CC, 3.2))
+        .baseParams(benchParams())
+        .workloads({"fir"})
+        .axis("gbps", {1.6, 3.2, 6.4, 12.8},
+              [](SystemConfig &cfg, double v) {
+                  cfg.dram.bandwidthGBps = v;
+              })
+        .modelAxis();
+    spec.baseline({"fir/base", "fir",
+                   makeConfig(1, MemModel::CC, 0.8), benchParams(),
+                   {}, {{"workload", "fir"}, {"role", "baseline"}}});
+    for (bool pfs : {false, true}) {
+        SystemConfig pf = makeConfig(16, MemModel::CC, 3.2, 12.8);
+        pf.hwPrefetch = true;
+        pf.prefetchDepth = 8;
+        pf.pfsEnabled = pfs;
+        spec.point({pfs ? "fir/pref+pfs" : "fir/pref", "fir", pf,
+                    benchParams(), {"fir/base"},
+                    {{"workload", "fir"},
+                     {"config", pfs ? "CC+pref+PFS" : "CC+pref"}}});
+    }
+    SweepResult res = runSweep(spec);
 
+    const RunResult &base = res.runOf("fir/base");
     TextTable table({"GB/s", "config", "total", "useful", "sync",
                      "load", "store", "load frac"});
-    for (double gbps : {1.6, 3.2, 6.4, 12.8}) {
-        for (MemModel m : {MemModel::CC, MemModel::STR}) {
-            RunResult r = runWorkload(
-                "fir", makeConfig(16, m, 3.2, gbps), benchParams());
-            NormBreakdown b =
-                normalizedBreakdown(r.stats, base.stats.execTicks);
-            table.addRow({fmtF(gbps, 1), to_string(m),
-                          fmtF(b.total(), 4), fmtF(b.useful, 4),
-                          fmtF(b.sync, 4), fmtF(b.load, 4),
-                          fmtF(b.store, 4),
-                          fmtPct(b.load / b.total())});
-        }
-    }
-
-    // CC with hardware prefetching at the top bandwidth, and the
-    // paper's full remedy: prefetching plus non-allocating stores
-    // ("the introduction of techniques such as hardware prefetching
-    // and non-allocating stores to the cache-based model eliminates
-    // the streaming advantage" -- Abstract).
-    SystemConfig pf = makeConfig(16, MemModel::CC, 3.2, 12.8);
-    pf.hwPrefetch = true;
-    pf.prefetchDepth = 8;
-    for (bool pfs : {false, true}) {
-        pf.pfsEnabled = pfs;
-        RunResult r = runWorkload("fir", pf, benchParams());
+    auto addRow = [&](const std::string &id, const std::string &gbps,
+                      const std::string &label) {
+        const RunResult &r = res.runOf(id);
         NormBreakdown b =
             normalizedBreakdown(r.stats, base.stats.execTicks);
-        table.addRow({"12.8", pfs ? "CC+pref+PFS" : "CC+pref",
-                      fmtF(b.total(), 4), fmtF(b.useful, 4),
-                      fmtF(b.sync, 4), fmtF(b.load, 4),
-                      fmtF(b.store, 4), fmtPct(b.load / b.total())});
+        table.addRow({gbps, label, fmtF(b.total(), 4),
+                      fmtF(b.useful, 4), fmtF(b.sync, 4),
+                      fmtF(b.load, 4), fmtF(b.store, 4),
+                      fmtPct(b.load / b.total())});
+    };
+    for (double gbps : {1.6, 3.2, 6.4, 12.8}) {
+        for (MemModel m : {MemModel::CC, MemModel::STR}) {
+            addRow(fmt("fir/gbps=%.1f/model=%s", gbps, to_string(m)),
+                   fmtF(gbps, 1), to_string(m));
+        }
     }
+    addRow("fir/pref", "12.8", "CC+pref");
+    addRow("fir/pref+pfs", "12.8", "CC+pref+PFS");
 
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

@@ -23,17 +23,40 @@ main()
     std::printf("Figure 7: hardware prefetching, 2 cores @ 3.2 GHz, "
                 "12.8 GB/s\n\n");
 
+    SweepSpec spec("fig7_prefetch");
+    for (const char *name : {"merge", "art"}) {
+        const std::string base_id = std::string(name) + "/base";
+        spec.point({base_id, name,
+                    makeConfig(1, MemModel::CC, 0.8, 12.8),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+
+        SystemConfig cc = makeConfig(2, MemModel::CC, 3.2, 12.8);
+        SystemConfig p4 = cc;
+        p4.hwPrefetch = true;
+        p4.prefetchDepth = 4;
+        SystemConfig str = makeConfig(2, MemModel::STR, 3.2, 12.8);
+        spec.point({std::string(name) + "/CC", name, cc, benchParams(),
+                    {base_id},
+                    {{"workload", name}, {"config", "CC"}}});
+        spec.point({std::string(name) + "/CC+P4", name, p4,
+                    benchParams(), {base_id},
+                    {{"workload", name}, {"config", "CC+P4"}}});
+        spec.point({std::string(name) + "/STR", name, str,
+                    benchParams(), {base_id},
+                    {{"workload", name}, {"config", "STR"}}});
+    }
+    SweepResult res = runSweep(spec);
+
     TextTable table({"Application", "config", "total", "useful",
                      "sync", "load", "store", "pf issued",
                      "pf useful"});
-
     for (const char *name : {"merge", "art"}) {
-        RunResult base = runWorkload(
-            name, makeConfig(1, MemModel::CC, 0.8, 12.8),
-            benchParams());
-
-        auto addRow = [&](const char *label, const SystemConfig &cfg) {
-            RunResult r = runWorkload(name, cfg, benchParams());
+        const RunResult &base =
+            res.runOf(std::string(name) + "/base");
+        for (const char *label : {"CC", "CC+P4", "STR"}) {
+            const RunResult &r =
+                res.runOf(std::string(name) + "/" + label);
             NormBreakdown b =
                 normalizedBreakdown(r.stats, base.stats.execTicks);
             table.addRow(
@@ -43,16 +66,9 @@ main()
                                  r.stats.l1Total.prefetchesIssued),
                  fmt("%llu", (unsigned long long)
                                  r.stats.l1Total.prefetchesUseful)});
-        };
-
-        addRow("CC", makeConfig(2, MemModel::CC, 3.2, 12.8));
-        SystemConfig pf = makeConfig(2, MemModel::CC, 3.2, 12.8);
-        pf.hwPrefetch = true;
-        pf.prefetchDepth = 4;
-        addRow("CC+P4", pf);
-        addRow("STR", makeConfig(2, MemModel::STR, 3.2, 12.8));
+        }
     }
 
     std::printf("%s", table.format().c_str());
-    return 0;
+    return finishBench(res);
 }

@@ -9,6 +9,10 @@
  * "brings the memory traffic and energy consumption of the
  * cache-based model into parity with the streaming model. For
  * MPEG-2, the memory traffic due to write misses was reduced 56%."
+ *
+ * One sweep serves both tables: the FIR energy rows reuse the same
+ * job results as the FIR traffic rows (the pre-engine version of
+ * this bench simulated those points twice).
  */
 
 #include <cstdio>
@@ -23,21 +27,46 @@ main()
     std::printf("Figure 8: PFS (non-allocating stores), 16 cores @ "
                 "800 MHz\n\n");
 
+    SweepSpec spec("fig8_pfs");
+    for (const char *name : {"fir", "merge", "mpeg2"}) {
+        const std::string base_id = std::string(name) + "/base";
+        spec.point({base_id, name, makeConfig(1, MemModel::CC),
+                    benchParams(), {},
+                    {{"workload", name}, {"role", "baseline"}}});
+
+        SystemConfig pfs = makeConfig(16, MemModel::CC);
+        pfs.pfsEnabled = true;
+        spec.point({std::string(name) + "/CC", name,
+                    makeConfig(16, MemModel::CC), benchParams(),
+                    {base_id},
+                    {{"workload", name}, {"config", "CC"}}});
+        spec.point({std::string(name) + "/CC+PFS", name, pfs,
+                    benchParams(), {base_id},
+                    {{"workload", name}, {"config", "CC+PFS"}}});
+        spec.point({std::string(name) + "/STR", name,
+                    makeConfig(16, MemModel::STR), benchParams(),
+                    {base_id},
+                    {{"workload", name}, {"config", "STR"}}});
+    }
+    SweepResult res = runSweep(spec);
+
     TextTable traffic({"Application", "config", "read", "write",
                        "total", "pfs stores"});
     double mpeg2_read_cc = 0, mpeg2_read_pfs = 0;
-
     for (const char *name : {"fir", "merge", "mpeg2"}) {
-        RunResult base = runWorkload(name, makeConfig(1, MemModel::CC),
-                                     benchParams());
+        const RunResult &base =
+            res.runOf(std::string(name) + "/base");
         double denom =
             double(base.stats.dramReadBytes + base.stats.dramWriteBytes);
-
-        auto addRow = [&](const char *label, SystemConfig cfg,
-                          double *read_out = nullptr) {
-            RunResult r = runWorkload(name, cfg, benchParams());
-            if (read_out)
-                *read_out = double(r.stats.dramReadBytes);
+        for (const char *label : {"CC", "CC+PFS", "STR"}) {
+            const RunResult &r =
+                res.runOf(std::string(name) + "/" + label);
+            if (name == std::string("mpeg2")) {
+                if (label == std::string("CC"))
+                    mpeg2_read_cc = double(r.stats.dramReadBytes);
+                else if (label == std::string("CC+PFS"))
+                    mpeg2_read_pfs = double(r.stats.dramReadBytes);
+            }
             traffic.addRow(
                 {name, label, fmtF(r.stats.dramReadBytes / denom, 3),
                  fmtF(r.stats.dramWriteBytes / denom, 3),
@@ -46,16 +75,7 @@ main()
                       3),
                  fmt("%llu", (unsigned long long)
                                  r.stats.l1Total.pfsStores)});
-        };
-
-        addRow("CC", makeConfig(16, MemModel::CC),
-               name == std::string("mpeg2") ? &mpeg2_read_cc : nullptr);
-        SystemConfig pfs = makeConfig(16, MemModel::CC);
-        pfs.pfsEnabled = true;
-        addRow("CC+PFS", pfs,
-               name == std::string("mpeg2") ? &mpeg2_read_pfs
-                                            : nullptr);
-        addRow("STR", makeConfig(16, MemModel::STR));
+        }
     }
     std::printf("%s\n", traffic.format().c_str());
 
@@ -65,15 +85,13 @@ main()
                     100.0 * (1.0 - mpeg2_read_pfs / mpeg2_read_cc));
     }
 
-    // FIR energy with and without PFS.
+    // FIR energy with and without PFS, from the same job results.
     TextTable energy({"FIR config", "core", "I$", "D$/LMem", "net",
                       "L2", "DRAM", "total"});
-    RunResult base = runWorkload("fir", makeConfig(1, MemModel::CC),
-                                 benchParams());
-    double denom = base.energy.totalMj();
-    auto addEnergy = [&](const char *label, SystemConfig cfg) {
-        RunResult r = runWorkload("fir", cfg, benchParams());
-        const EnergyBreakdown &e = r.energy;
+    double denom = res.runOf("fir/base").energy.totalMj();
+    for (const char *label : {"CC", "CC+PFS", "STR"}) {
+        const EnergyBreakdown &e =
+            res.runOf(std::string("fir/") + label).energy;
         energy.addRow({label, fmtF(e.coreMj / denom, 3),
                        fmtF(e.icacheMj / denom, 3),
                        fmtF(e.dstoreMj / denom, 3),
@@ -81,12 +99,7 @@ main()
                        fmtF(e.l2Mj / denom, 3),
                        fmtF(e.dramMj / denom, 3),
                        fmtF(e.totalMj() / denom, 3)});
-    };
-    addEnergy("CC", makeConfig(16, MemModel::CC));
-    SystemConfig pfs = makeConfig(16, MemModel::CC);
-    pfs.pfsEnabled = true;
-    addEnergy("CC+PFS", pfs);
-    addEnergy("STR", makeConfig(16, MemModel::STR));
+    }
     std::printf("%s", energy.format().c_str());
-    return 0;
+    return finishBench(res);
 }

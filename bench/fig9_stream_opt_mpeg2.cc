@@ -29,9 +29,23 @@ main()
     orig.streamOptimized = false;
     WorkloadParams opt = benchParams();
 
-    RunResult base =
-        runWorkload("mpeg2", makeConfig(1, MemModel::CC), opt);
+    // The variant (workload-parameter) axis rides the cross-product
+    // alongside the core-count axis.
+    SweepSpec spec("fig9_stream_opt_mpeg2");
+    spec.base(makeConfig(16, MemModel::CC))
+        .workloads({"mpeg2"})
+        .axis("cores", {2, 4, 8, 16},
+              [](SystemConfig &cfg, double v) { cfg.cores = int(v); },
+              0)
+        .axis("variant",
+              {{"orig", [orig](SweepJob &j) { j.params = orig; }},
+               {"opt", [opt](SweepJob &j) { j.params = opt; }}});
+    spec.baseline({"mpeg2/base", "mpeg2", makeConfig(1, MemModel::CC),
+                   opt, {},
+                   {{"workload", "mpeg2"}, {"role", "baseline"}}});
+    SweepResult res = runSweep(spec);
 
+    const RunResult &base = res.runOf("mpeg2/base");
     TextTable table({"CPUs", "variant", "exec", "read", "write",
                      "L1 wb", "I$ misses", "verified"});
     double denom_traffic =
@@ -40,9 +54,9 @@ main()
     double wb_orig_16 = 0, wb_opt_16 = 0;
     for (int cores : {2, 4, 8, 16}) {
         for (bool optimized : {false, true}) {
-            RunResult r = runWorkload("mpeg2",
-                                      makeConfig(cores, MemModel::CC),
-                                      optimized ? opt : orig);
+            const RunResult &r = res.runOf(
+                fmt("mpeg2/cores=%d/variant=%s", cores,
+                    optimized ? "opt" : "orig"));
             if (cores == 16) {
                 (optimized ? wb_opt_16 : wb_orig_16) =
                     double(r.stats.l1Total.writebacks);
@@ -66,5 +80,5 @@ main()
                     "stream-programming restructure (paper: 60%%)\n",
                     100.0 * (1.0 - wb_opt_16 / wb_orig_16));
     }
-    return 0;
+    return finishBench(res);
 }

@@ -24,13 +24,19 @@ main()
 {
     std::printf("Table 3: memory characteristics, CC model, 16 cores "
                 "@ 800 MHz\n\n");
+
+    SweepSpec spec("table3");
+    spec.base(makeConfig(16, MemModel::CC))
+        .baseParams(benchParams())
+        .workloads(workloadNames());
+    SweepResult res = runSweep(spec);
+
     TextTable table({"Application", "L1 D-miss", "L2 D-miss",
                      "Instr/L1-miss", "Cycles/L2-miss", "Off-chip B/W",
                      "verified"});
-
+    SystemConfig cfg = makeConfig(16, MemModel::CC);
     for (const auto &name : workloadNames()) {
-        SystemConfig cfg = makeConfig(16, MemModel::CC);
-        RunResult r = runWorkload(name, cfg, benchParams());
+        const RunResult &r = res.runOf(name);
         const RunStats &s = r.stats;
 
         double instr_per_miss =
@@ -55,5 +61,5 @@ main()
                 "324.8/135.4/292 MB/s ... FIR 0.63%%/99.8%%/14.6/20.4/"
                 "1839 MB/s; see EXPERIMENTS.md for the full "
                 "comparison.\n");
-    return 0;
+    return finishBench(res);
 }

@@ -5,6 +5,10 @@
  * print a scaling matrix — the kind of study Section 5.3/5.4 of the
  * paper runs, available as a one-command tool.
  *
+ * The whole study is one declarative SweepSpec: three named axes
+ * (cores, gbps, model) cross-multiplied over the workload and
+ * executed on the engine's worker pool (CMPMEM_JOBS to override).
+ *
  *   ./design_space [workload]
  */
 
@@ -22,8 +26,23 @@ main(int argc, char **argv)
     std::printf("design-space sweep: %s (800 MHz cores)\n\n",
                 workload.c_str());
 
-    RunResult base =
-        runWorkload(workload, makeConfig(1, MemModel::CC));
+    SweepSpec spec("design_space");
+    spec.base(makeConfig(16, MemModel::CC))
+        .workloads({workload})
+        .axis("cores", {2, 4, 8, 16},
+              [](SystemConfig &cfg, double v) { cfg.cores = int(v); },
+              0)
+        .axis("gbps", {1.6, 3.2, 6.4},
+              [](SystemConfig &cfg, double v) {
+                  cfg.dram.bandwidthGBps = v;
+              })
+        .modelAxis();
+    spec.baseline({workload + "/base", workload,
+                   makeConfig(1, MemModel::CC), {}, {},
+                   {{"workload", workload}, {"role", "baseline"}}});
+    SweepResult res = runSweep(spec);
+
+    const RunResult &base = res.runOf(workload + "/base");
     std::printf("baseline: 1 caching core, 3.2 GB/s -> %.3f ms\n\n",
                 base.stats.execSeconds() * 1e3);
 
@@ -35,8 +54,9 @@ main(int argc, char **argv)
             double busy[2] = {0, 0};
             int i = 0;
             for (MemModel m : {MemModel::CC, MemModel::STR}) {
-                RunResult r = runWorkload(
-                    workload, makeConfig(cores, m, 0.8, gbps));
+                const RunResult &r = res.runOf(
+                    fmt("%s/cores=%d/gbps=%.1f/model=%s",
+                        workload.c_str(), cores, gbps, to_string(m)));
                 speedup[i] = double(base.stats.execTicks) /
                              double(r.stats.execTicks);
                 busy[i] = double(r.stats.dramBusyTicks) /
@@ -50,5 +70,6 @@ main(int argc, char **argv)
         }
     }
     std::printf("%s", table.format().c_str());
-    return 0;
+    std::printf("\n%s\n", res.summary().c_str());
+    return res.allRan() ? 0 : 1;
 }

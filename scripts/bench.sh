@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+#
+# Build and run the full figure/table suite on the sweep engine and
+# collect the machine-readable artifacts (BENCH_<name>.json) at the
+# repository root.
+#
+# Knobs (environment):
+#   CMPMEM_SCALE   workload scale factor (default 1; 0 = smoke size)
+#   CMPMEM_JOBS    sweep worker count (default: hardware concurrency)
+#
+# Usage: scripts/bench.sh [jobs]   # jobs = build parallelism
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+root="$PWD"
+jobs="${1:-$(nproc)}"
+
+benches=(
+    table3
+    fig2_scaling
+    fig3_traffic
+    fig4_energy
+    fig5_comp_throughput
+    fig6_bandwidth
+    fig7_prefetch
+    fig8_pfs
+    fig9_stream_opt_mpeg2
+    fig10_stream_opt_art
+    ablation_quantum
+    ablation_interconnect
+    ablation_dram
+    ablation_hybrid
+    microbench
+)
+
+echo "==> configuring build"
+cmake -S . -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "==> building bench suite"
+cmake --build build -j "${jobs}" --target "${benches[@]}"
+
+export CMPMEM_ARTIFACT_DIR="${root}"
+for b in "${benches[@]}"; do
+    echo
+    echo "==> ${b}"
+    "build/bench/${b}"
+done
+
+echo
+echo "==> artifacts:"
+ls -l "${root}"/BENCH_*.json

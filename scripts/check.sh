@@ -1,31 +1,56 @@
 #!/usr/bin/env bash
 #
-# Full verification sweep: build and run the test suite in the plain
-# Release configuration, then again with AddressSanitizer + UBSan
-# (CMPMEM_SANITIZE=ON). The sanitized pass exists to catch memory and
-# UB bugs the functional tests would miss; both configurations must
-# be green before a change ships.
+# Verification driver.
 #
-# Usage: scripts/check.sh [jobs]
+# Default (quick) mode: build the Release configuration and run every
+# test except those labelled "long" — a sub-minute signal suitable
+# for the inner edit loop.
+#
+# --full: the pre-ship sweep. Runs the complete suite (including the
+# long label) in the plain Release configuration, then builds and
+# runs everything again under AddressSanitizer + UBSan
+# (CMPMEM_SANITIZE=ON). Both configurations must be green before a
+# change ships.
+#
+# Usage: scripts/check.sh [--full] [jobs]
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-jobs="${1:-$(nproc)}"
+
+full=0
+jobs="$(nproc)"
+for arg in "$@"; do
+    case "${arg}" in
+        --full) full=1 ;;
+        [0-9]*) jobs="${arg}" ;;
+        *)
+            echo "usage: scripts/check.sh [--full] [jobs]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 run_config() {
     local dir="$1"
-    shift
+    local label_args="$2"
+    shift 2
     echo "==> configuring ${dir} ($*)"
     cmake -S . -B "${dir}" -G Ninja "$@" >/dev/null
     echo "==> building ${dir}"
     cmake --build "${dir}" -j "${jobs}"
     echo "==> testing ${dir}"
-    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+    # shellcheck disable=SC2086  # label_args is intentionally a list
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
+        ${label_args}
 }
 
-run_config build -DCMAKE_BUILD_TYPE=Release
-run_config build-sanitize -DCMAKE_BUILD_TYPE=Release \
-    -DCMPMEM_SANITIZE=ON
-
-echo "==> all configurations green"
+if [[ "${full}" -eq 1 ]]; then
+    run_config build "" -DCMAKE_BUILD_TYPE=Release
+    run_config build-sanitize "" -DCMAKE_BUILD_TYPE=Release \
+        -DCMPMEM_SANITIZE=ON
+    echo "==> all configurations green"
+else
+    run_config build "-LE long" -DCMAKE_BUILD_TYPE=Release
+    echo "==> quick suite green (use --full before shipping)"
+fi

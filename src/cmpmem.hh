@@ -26,6 +26,7 @@
 #include "energy/energy_model.hh"
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"

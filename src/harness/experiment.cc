@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "harness/table.hh"
@@ -47,6 +48,16 @@ benchParams()
     if (const char *env = std::getenv("CMPMEM_SCALE"))
         params.scale = std::atoi(env);
     return params;
+}
+
+int
+finishBench(const SweepResult &res)
+{
+    std::printf("\n%s\n", res.summary().c_str());
+    std::string path = res.writeArtifact();
+    if (!path.empty())
+        std::printf("artifact: %s\n", path.c_str());
+    return res.allRan() ? 0 : 1;
 }
 
 std::string

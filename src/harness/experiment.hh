@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "system/config.hh"
 
 namespace cmpmem
@@ -48,6 +49,14 @@ std::string breakdownCells(const NormBreakdown &b);
  * for a quick pass).
  */
 WorkloadParams benchParams();
+
+/**
+ * Bench epilogue: print the sweep's aggregate host-time and
+ * speedup line (serial-sum vs wall-clock), write the
+ * BENCH_<name>.json artifact, and return the process exit code
+ * (0 unless a job failed to execute).
+ */
+int finishBench(const SweepResult &res);
 
 } // namespace cmpmem
 

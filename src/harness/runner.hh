@@ -21,8 +21,18 @@ struct RunResult
     RunStats stats;
     EnergyBreakdown energy;
     bool verified = false;
-    double hostSeconds = 0; ///< wall-clock simulation cost
+    double hostSeconds = 0; ///< host CPU cost of this simulation
 };
+
+/**
+ * CPU time consumed by the calling thread so far, in seconds.
+ *
+ * This — not wall-clock — is how per-job host cost is measured: with
+ * several sweep workers sharing cores, a job's wall time includes
+ * stretches where the thread was descheduled, which would inflate
+ * the serial-sum and overstate the pool's speedup.
+ */
+double threadCpuSeconds();
 
 /**
  * Run @p workload_name on a system configured by @p cfg.

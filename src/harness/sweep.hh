@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Declarative sweep engine: every table and figure of the paper is a
+ * sweep over {workload x SystemConfig knobs}, and every point is an
+ * independent, deterministic, single-threaded simulation — so the
+ * configuration axis is embarrassingly parallel.
+ *
+ * A SweepSpec names the axes (cross-product) and/or lists explicit
+ * points; expand() turns it into a job graph (jobs plus ordering
+ * dependencies, e.g. "normalized points run after their baseline");
+ * runSweep() executes the graph on a worker pool of std::jthread
+ * (default std::thread::hardware_concurrency, overridable with the
+ * CMPMEM_JOBS environment variable or SweepOptions::jobs) and
+ * collects a SweepResult that renders both the existing text tables
+ * (via per-id lookup) and a machine-readable BENCH_<name>.json
+ * artifact.
+ *
+ * Determinism: results are stored by job index, not completion
+ * order, and each simulation owns all of its mutable state (see the
+ * audit note in harness/runner.cc), so for a fixed spec the
+ * per-point simulated tick counts are bit-identical regardless of
+ * worker count. tests/test_sweep.cc asserts this.
+ */
+
+#ifndef CMPMEM_HARNESS_SWEEP_HH
+#define CMPMEM_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "system/config.hh"
+#include "workloads/workload.hh"
+
+namespace cmpmem
+{
+
+/** One fully-specified simulation point within a sweep. */
+struct SweepJob
+{
+    SweepJob() = default;
+
+    SweepJob(std::string id_, std::string workload_, SystemConfig cfg_,
+             WorkloadParams params_ = {},
+             std::vector<std::string> deps_ = {},
+             std::map<std::string, std::string> tags_ = {},
+             std::function<RunResult()> run_ = {})
+        : id(std::move(id_)), workload(std::move(workload_)),
+          cfg(cfg_), params(params_), deps(std::move(deps_)),
+          tags(std::move(tags_)), run(std::move(run_))
+    {
+    }
+
+    /** Unique id within the sweep ("fir/cores=4/model=CC"). */
+    std::string id;
+
+    /** Registry workload name; may be empty when @c run is set. */
+    std::string workload;
+
+    SystemConfig cfg;
+    WorkloadParams params;
+
+    /**
+     * Ids of jobs that must complete before this one starts. A pure
+     * ordering constraint: a dependency that fails to run does not
+     * cancel its dependents (they run and report their own outcome).
+     */
+    std::vector<std::string> deps;
+
+    /** Axis-point labels for reporting ("cores" -> "4"). */
+    std::map<std::string, std::string> tags;
+
+    /**
+     * Custom simulation body for points that are not a registry
+     * workload (e.g. the hybrid-ablation kernels). When empty, the
+     * engine runs runWorkload(workload, cfg, params).
+     */
+    std::function<RunResult()> run;
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    SweepJob job;
+    RunResult run;
+    bool ran = false;  ///< completed without throwing
+    std::string error; ///< exception text when !ran
+    std::string log;   ///< warn()/inform() output captured from the run
+};
+
+/** One value of a named axis: a label plus a job mutation. */
+struct AxisValue
+{
+    std::string label;
+    std::function<void(SweepJob &)> apply;
+};
+
+/**
+ * A declarative sweep: base config/params, a workload list, named
+ * axes expanded as a cross-product, and/or explicit points.
+ */
+class SweepSpec
+{
+  public:
+    explicit SweepSpec(std::string name);
+
+    const std::string &name() const { return specName; }
+
+    /** Base configuration cloned into every cross-product job. */
+    SweepSpec &base(const SystemConfig &cfg);
+
+    /** Base workload parameters cloned into every cross-product job. */
+    SweepSpec &baseParams(const WorkloadParams &p);
+
+    /** The workload axis (outermost loop of the cross-product). */
+    SweepSpec &workloads(std::vector<std::string> names);
+
+    /** Generic named axis. */
+    SweepSpec &axis(std::string name, std::vector<AxisValue> values);
+
+    /** Numeric axis over a SystemConfig knob. */
+    SweepSpec &axis(std::string name, const std::vector<double> &values,
+                    std::function<void(SystemConfig &, double)> set,
+                    int label_precision = 1);
+
+    /** Convenience axis over the two memory models. */
+    SweepSpec &modelAxis(std::vector<MemModel> models = {MemModel::CC,
+                                                         MemModel::STR});
+
+    /**
+     * Explicit point, run alongside the cross-product jobs. The
+     * caller provides the id (fatal() at expand() if missing or
+     * duplicated).
+     */
+    SweepSpec &point(SweepJob job);
+
+    /**
+     * Explicit point that every *cross-product* job depends on —
+     * the "1-core CC baseline" pattern of the normalized figures.
+     */
+    SweepSpec &baseline(SweepJob job);
+
+    /**
+     * Expand into the job graph: baselines, then the cross-product
+     * of workloads x axes (ids "<workload>/<axis>=<label>/..."),
+     * then explicit points. Deterministic order; fatal()s on
+     * duplicate ids, unknown deps, or dependency cycles.
+     */
+    std::vector<SweepJob> expand() const;
+
+  private:
+    struct Axis
+    {
+        std::string name;
+        std::vector<AxisValue> values;
+    };
+
+    std::string specName;
+    SystemConfig baseCfg;
+    WorkloadParams baseprm;
+    std::vector<std::string> workloadList;
+    std::vector<Axis> axes;
+    std::vector<SweepJob> baselines;
+    std::vector<SweepJob> points;
+};
+
+/** Execution knobs for runSweep(). */
+struct SweepOptions
+{
+    /**
+     * Worker count; 0 means the CMPMEM_JOBS environment variable,
+     * falling back to std::thread::hardware_concurrency().
+     */
+    int jobs = 0;
+
+    /**
+     * Re-emit each job's captured warn()/inform() text to stderr
+     * (as one block, prefixed with the job id) once the job ends.
+     * When false the text is only kept in JobResult::log.
+     */
+    bool echoLogs = true;
+};
+
+/** Structured results of a sweep, in job-graph order. */
+class SweepResult
+{
+  public:
+    SweepResult(std::string name, std::vector<JobResult> results,
+                double wall_seconds, int workers);
+
+    const std::string &name() const { return sweepName; }
+    const std::vector<JobResult> &jobs() const { return results; }
+
+    /** Lookup by id; null when absent. */
+    const JobResult *find(const std::string &id) const;
+
+    /** Lookup by id; fatal()s when absent (bench formatting). */
+    const JobResult &at(const std::string &id) const;
+
+    /** Shorthand for at(id).run. */
+    const RunResult &runOf(const std::string &id) const;
+
+    bool allRan() const;
+    bool allVerified() const;
+
+    /** Sum of per-job host seconds (the serial-execution cost). */
+    double serialSeconds() const;
+
+    /** Wall-clock seconds of the pooled execution. */
+    double wallSeconds() const { return wallSecs; }
+
+    /** Serial-sum / wall-clock (the parallelism win). */
+    double speedup() const;
+
+    int workers() const { return nWorkers; }
+
+    /** One-line aggregate: jobs, host time, wall time, speedup. */
+    std::string summary() const;
+
+    /** Full machine-readable artifact (see DESIGN.md for schema). */
+    std::string toJson() const;
+
+    /**
+     * Write toJson() to "<dir>/BENCH_<name>.json" where dir is
+     * CMPMEM_ARTIFACT_DIR or ".". @return the path written.
+     */
+    std::string writeArtifact() const;
+
+  private:
+    std::string sweepName;
+    std::vector<JobResult> results;
+    std::map<std::string, std::size_t> index;
+    double wallSecs = 0;
+    int nWorkers = 1;
+};
+
+/** Expand @p spec and execute the job graph on the worker pool. */
+SweepResult runSweep(const SweepSpec &spec, const SweepOptions &opts = {});
+
+/** Execute an already-expanded job graph (id/dep validation applies). */
+SweepResult runJobs(std::string name, std::vector<SweepJob> jobs,
+                    const SweepOptions &opts = {});
+
+/** Resolved worker count for @p requested (0 = env/default). */
+int sweepWorkerCount(int requested);
+
+/** Artifact path "<CMPMEM_ARTIFACT_DIR or .>/BENCH_<name>.json". */
+std::string artifactPath(const std::string &name);
+
+} // namespace cmpmem
+
+#endif // CMPMEM_HARNESS_SWEEP_HH

@@ -1,28 +1,121 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace cmpmem
 {
 
 namespace
 {
-bool quietMode = false;
+
+std::atomic<bool> quietMode{false};
+
+/** Serializes direct stderr writes across sweep worker threads. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local LogCapture *tlsCapture = nullptr;
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return fmt; // formatting error: fall back to the raw string
+    std::vector<char> buf(std::size_t(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), std::size_t(n));
+}
+
+/** One locked, line-atomic write to stderr. */
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
 
 void
 vlog(const char *tag, const char *fmt, std::va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    std::string msg = vformat(fmt, ap);
+    if (tlsCapture)
+        tlsCapture->append(tag, msg);
+    else
+        emit(tag, msg);
 }
+
+/**
+ * Terminal path: flush this thread's pending capture (the dying
+ * run's context) and write the final message straight to stderr.
+ */
+void
+vlogFatal(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::string msg = vformat(fmt, ap);
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (tlsCapture && !tlsCapture->empty())
+        std::fputs(tlsCapture->drain().c_str(), stderr);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
 } // namespace
+
+LogCapture::LogCapture() : prev(tlsCapture)
+{
+    tlsCapture = this;
+}
+
+LogCapture::~LogCapture()
+{
+    tlsCapture = prev;
+}
+
+std::string
+LogCapture::drain()
+{
+    std::string out = std::move(buf);
+    buf.clear();
+    return out;
+}
+
+void
+LogCapture::append(const char *tag, const std::string &msg)
+{
+    buf += tag;
+    buf += ": ";
+    buf += msg;
+    buf += '\n';
+}
+
+void
+emitRaw(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fputs(text.c_str(), stderr);
+}
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietMode.load(std::memory_order_relaxed);
 }
 
 void
@@ -30,7 +123,7 @@ fatal(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    vlog("fatal", fmt, ap);
+    vlogFatal("fatal", fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -40,7 +133,7 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    vlog("panic", fmt, ap);
+    vlogFatal("panic", fmt, ap);
     va_end(ap);
     std::abort();
 }
@@ -48,7 +141,7 @@ panic(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    if (isQuiet())
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -59,7 +152,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    if (isQuiet())
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -182,6 +182,8 @@ CmpSystem::collectStats() const
     rs.dramReadBytes = dramChannel->readBytes();
     rs.dramWriteBytes = dramChannel->writeBytes();
     rs.dramBusyTicks = dramChannel->busyTicks();
+    rs.dramRowHits = dramChannel->rowHits();
+    rs.dramRowMisses = dramChannel->rowMisses();
 
     if (check) {
         rs.checkerViolations = check->violations();
@@ -231,6 +233,8 @@ RunStats::toStatSet() const
     s.set("dram.read_bytes", double(dramReadBytes));
     s.set("dram.write_bytes", double(dramWriteBytes));
     s.set("dram.busy_ticks", double(dramBusyTicks));
+    s.set("dram.row_hits", double(dramRowHits));
+    s.set("dram.row_misses", double(dramRowMisses));
     s.set("offchip_bytes_per_sec", offChipBytesPerSec());
     s.set("checker.violations", double(checkerViolations));
     s.set("checker.events", double(checkerEvents));

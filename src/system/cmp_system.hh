@@ -60,6 +60,8 @@ struct RunStats
     std::uint64_t dramReadBytes = 0;
     std::uint64_t dramWriteBytes = 0;
     Tick dramBusyTicks = 0;
+    std::uint64_t dramRowHits = 0;   ///< bank model only, else 0
+    std::uint64_t dramRowMisses = 0; ///< bank model only, else 0
 
     /** Runtime MESI checker results (zero when not attached). */
     std::uint64_t checkerViolations = 0;
