@@ -19,8 +19,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Ablation: flat vs bank/open-row DRAM model "
                 "(16 cores @ 800 MHz)\n\n");
 

@@ -141,8 +141,9 @@ job(const char *id, MemModel model, bool hybrid)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Ablation: Section 7 hybrid bulk-prefetch primitive "
                 "(copy-transform, 2 cores @ 3.2 GHz, 12.8 GB/s)\n\n");
 

@@ -15,8 +15,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Ablation: interconnect width sweep (16 cores CC @ "
                 "3.2 GHz, bandwidth-hungry FIR)\n\n");
 

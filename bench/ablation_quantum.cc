@@ -13,8 +13,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Ablation: core time-quantum sweep (FIR and merge, "
                 "16 cores CC)\n\n");
 

@@ -18,8 +18,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 10: stream-programming optimizations, "
                 "cache-based 179.art @ 800 MHz\n\n");
 

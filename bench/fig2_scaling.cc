@@ -23,8 +23,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 2: normalized execution time breakdown "
                 "(800 MHz, no prefetching)\n\n");
 

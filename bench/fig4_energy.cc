@@ -19,8 +19,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 4: energy breakdown, 16 CPUs @ 800 MHz, "
                 "normalized to one caching core\n\n");
 

@@ -20,8 +20,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 5: computational-throughput scaling, 16 cores"
                 "\n\n");
 

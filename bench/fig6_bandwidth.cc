@@ -19,8 +19,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 6: FIR vs off-chip bandwidth, 16 cores @ "
                 "3.2 GHz\n\n");
 

@@ -18,8 +18,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 7: hardware prefetching, 2 cores @ 3.2 GHz, "
                 "12.8 GB/s\n\n");
 

@@ -22,8 +22,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 8: PFS (non-allocating stores), 16 cores @ "
                 "800 MHz\n\n");
 

@@ -20,8 +20,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Figure 9: stream-programming optimizations, "
                 "cache-based MPEG-2 @ 800 MHz\n\n");
 

@@ -20,8 +20,9 @@
 using namespace cmpmem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     std::printf("Table 3: memory characteristics, CC model, 16 cores "
                 "@ 800 MHz\n\n");
 

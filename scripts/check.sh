@@ -9,8 +9,11 @@
 # --full: the pre-ship sweep. Runs the complete suite (including the
 # long label) in the plain Release configuration, then builds and
 # runs everything again under AddressSanitizer + UBSan
-# (CMPMEM_SANITIZE=ON). Both configurations must be green before a
-# change ships.
+# (CMPMEM_SANITIZE=ON), and finishes with a widened fault-injection
+# stress pass (CMPMEM_FAULT_SCALE=2) in the sanitizer tree — the
+# recovery paths (ECC re-reads, NACK/DMA retries, watchdog kills)
+# are exactly where latent lifetime bugs hide. All passes must be
+# green before a change ships.
 #
 # Usage: scripts/check.sh [--full] [jobs]
 
@@ -49,6 +52,9 @@ if [[ "${full}" -eq 1 ]]; then
     run_config build "" -DCMAKE_BUILD_TYPE=Release
     run_config build-sanitize "" -DCMAKE_BUILD_TYPE=Release \
         -DCMPMEM_SANITIZE=ON
+    echo "==> fault-injection stress pass (sanitized, scale 2)"
+    CMPMEM_FAULT_SCALE=2 ctest --test-dir build-sanitize \
+        --output-on-failure -j "${jobs}" -R test_faults_stress
     echo "==> all configurations green"
 else
     run_config build "-LE long" -DCMAKE_BUILD_TYPE=Release

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -143,7 +144,9 @@ CoherenceChecker::violation(Tick t, int core, Addr line,
                       traceFor(line);
     }
     if (cfg.failFast)
-        panic("%s", reportText.c_str());
+        throw SimError(SimErrorKind::Check,
+                       "coherence checker: fail-fast violation",
+                       reportText);
 }
 
 void

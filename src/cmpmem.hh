@@ -24,13 +24,17 @@
 #include "core/core.hh"
 #include "core/sync.hh"
 #include "energy/energy_model.hh"
+#include "faults/fault_config.hh"
+#include "faults/fault_injector.hh"
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "sim/clock.hh"
+#include "sim/diagnosable.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/sim_error.hh"
 #include "sim/task.hh"
 #include "sim/types.hh"
 #include "system/cmp_system.hh"

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -100,8 +101,10 @@ void
 Context::requireDma() const
 {
     if (!c.dma())
-        fatal("DMA used on a core without a DMA engine (cache-based "
-              "model kernels must not issue DMA commands)");
+        throwSimError(SimErrorKind::Model,
+                      "DMA used on a core without a DMA engine "
+                      "(cache-based model kernels must not issue DMA "
+                      "commands)");
 }
 
 ValueAwait<Context::Ticket>
@@ -178,8 +181,9 @@ OpAwait
 Context::dmaWait(Ticket tk)
 {
     if (!c.dma())
-        fatal("dmaWait() used on a core without a DMA engine "
-              "(cache-based model)");
+        throwSimError(SimErrorKind::Model,
+                      "dmaWait() used on a core without a DMA engine "
+                      "(cache-based model)");
     return waitUntil(c.dma()->completionTick(tk), StallCat::Sync);
 }
 

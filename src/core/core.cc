@@ -50,6 +50,10 @@ Core::launch()
 void
 Core::checkDone()
 {
+    // A kernel that died with an exception surfaces here, right
+    // after the resumption that killed it: propagate out of the
+    // event loop rather than recording the core as finished.
+    task.rethrowIfFailed();
     if (!isFinished && task.done()) {
         isFinished = true;
         finishedAt = curTick;

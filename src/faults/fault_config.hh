@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configuration for deterministic fault injection and the liveness
+ * watchdog (the robustness knobs of SystemConfig; see DESIGN.md §11).
+ *
+ * Faults are sampled from one seeded xoshiro256** stream owned by the
+ * simulation's FaultInjector, so a given (fault seed, fault config,
+ * workload seed) triple reproduces bit-identically — including across
+ * serial and parallel sweep runs. Each fault class only consumes
+ * random draws when its probability is non-zero, so enabling one
+ * class never perturbs the sample sequence of another.
+ */
+
+#ifndef CMPMEM_FAULTS_FAULT_CONFIG_HH
+#define CMPMEM_FAULTS_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+struct FaultConfig
+{
+    /** Master switch; when false no injector is constructed and the
+     *  simulated timing is bit-identical to a build without hooks. */
+    bool enabled = false;
+
+    /** Seed of the injector's private RNG stream. */
+    std::uint64_t seed = 1;
+
+    //
+    // DRAM transient bit flips, behind a SECDED ECC model: a
+    // single-bit flip is corrected in-line for a small latency
+    // penalty; a double-bit flip is detected but uncorrectable, so
+    // the channel re-reads the granule (transient faults clear on
+    // retry) — or, with fatalOnDoubleBit, raises a machine-check
+    // style SimError instead.
+    //
+    double dramBitFlipProb = 0.0;     ///< per DRAM read access
+    double dramDoubleBitFraction = 0.05; ///< flips that hit two bits
+    Tick eccCorrectLatency = 5 * ticksPerNs;
+    Tick eccRetryLatency = 70 * ticksPerNs; ///< re-read on detect
+    bool dramFatalOnDoubleBit = false;
+
+    //
+    // Interconnect message NACKs: a bus or crossbar transfer is
+    // refused and re-arbitrated after a linear backoff; exhausting
+    // the retry budget raises SimErrorKind::Fault.
+    //
+    double netNackProb = 0.0;         ///< per bus/crossbar transfer
+    int netMaxRetries = 8;
+    Tick netRetryBackoff = 20 * ticksPerNs; ///< base, linear in attempt
+
+    //
+    // DMA transfer failures: one line-granule uncore access fails
+    // and the engine re-issues it after a backoff.
+    //
+    double dmaFaultProb = 0.0;        ///< per line-granule access
+    int dmaMaxRetries = 4;
+    Tick dmaRetryBackoff = 50 * ticksPerNs;
+};
+
+/**
+ * Canonical moderate-rate configuration used by the `--faults` bench
+ * flag and the fault-injection stress tests: every class active at a
+ * rate that exercises the recovery paths without drowning the run.
+ */
+FaultConfig stressFaultConfig(std::uint64_t seed);
+
+/** Counters accumulated by the injector (surface in RunStats). */
+struct FaultStats
+{
+    std::uint64_t dramFlips = 0;    ///< reads that saw a flip
+    std::uint64_t eccCorrected = 0; ///< single-bit, fixed in line
+    std::uint64_t eccDetected = 0;  ///< double-bit, re-read/fatal
+    std::uint64_t netNacks = 0;     ///< transfers refused
+    std::uint64_t netRetries = 0;   ///< re-arbitrations performed
+    std::uint64_t dmaFaults = 0;    ///< accesses that failed
+    std::uint64_t dmaRetries = 0;   ///< re-issues performed
+};
+
+/**
+ * Liveness watchdog budgets for one simulation (all off by default;
+ * the guarded run mode only engages when some budget is set, so
+ * default runs take the plain EventQueue::run() path).
+ */
+struct WatchdogConfig
+{
+    /** Simulated-tick budget from the start of the run (0 = off). */
+    Tick maxTicks = 0;
+
+    /** Host thread-CPU-seconds budget (0 = off). */
+    double maxHostSeconds = 0;
+
+    /**
+     * Forward-progress check: every this many executed events, the
+     * instructions-retired probe must have advanced (0 = off). A
+     * budget catches runaway kernels; the progress check catches
+     * livelocks where events fire but no core retires anything.
+     */
+    std::uint64_t progressCheckEvents = 0;
+
+    bool engaged() const
+    {
+        return maxTicks != 0 || maxHostSeconds > 0 ||
+               progressCheckEvents != 0;
+    }
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_FAULTS_FAULT_CONFIG_HH

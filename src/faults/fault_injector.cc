@@ -1,0 +1,74 @@
+#include "faults/fault_injector.hh"
+
+#include "sim/sim_error.hh"
+
+namespace cmpmem
+{
+
+FaultConfig
+stressFaultConfig(std::uint64_t seed)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = seed;
+    fc.dramBitFlipProb = 1e-3;
+    fc.dramDoubleBitFraction = 0.05;
+    fc.netNackProb = 2e-3;
+    fc.netMaxRetries = 16;
+    fc.dmaFaultProb = 1e-3;
+    fc.dmaMaxRetries = 8;
+    return fc;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : cfg(config), rng(cfg.seed * 0x5851f42d4c957f2dULL + 0x14057b7eULL)
+{
+}
+
+Tick
+FaultInjector::dramReadPenalty(Addr addr)
+{
+    if (cfg.dramBitFlipProb <= 0)
+        return 0;
+    if (rng.nextDouble() >= cfg.dramBitFlipProb)
+        return 0;
+    ++st.dramFlips;
+    if (cfg.dramDoubleBitFraction > 0 &&
+        rng.nextDouble() < cfg.dramDoubleBitFraction) {
+        ++st.eccDetected;
+        if (cfg.dramFatalOnDoubleBit) {
+            throwSimError(SimErrorKind::Fault,
+                          "uncorrectable DRAM error: SECDED detected a "
+                          "double-bit flip at 0x%llx",
+                          static_cast<unsigned long long>(addr));
+        }
+        // Transient: a re-read of the granule recovers clean data.
+        return cfg.eccRetryLatency;
+    }
+    ++st.eccCorrected;
+    return cfg.eccCorrectLatency;
+}
+
+bool
+FaultInjector::netNack()
+{
+    if (cfg.netNackProb <= 0)
+        return false;
+    if (rng.nextDouble() >= cfg.netNackProb)
+        return false;
+    ++st.netNacks;
+    return true;
+}
+
+bool
+FaultInjector::dmaFault()
+{
+    if (cfg.dmaFaultProb <= 0)
+        return false;
+    if (rng.nextDouble() >= cfg.dmaFaultProb)
+        return false;
+    ++st.dmaFaults;
+    return true;
+}
+
+} // namespace cmpmem

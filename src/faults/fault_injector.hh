@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Seeded fault sampler shared by the DRAM channel, the coherence
+ * fabric, and the DMA engines of one simulation.
+ *
+ * One injector per CmpSystem (constructed only when
+ * SystemConfig::faults.enabled): clients hold a plain pointer that is
+ * null in fault-free runs, so the disabled path is a single pointer
+ * test. All sampling happens in simulation walk order on the
+ * simulation's own thread, which keeps fault placement a pure
+ * function of (seed, fault config, workload) — see fault_config.hh.
+ */
+
+#ifndef CMPMEM_FAULTS_FAULT_INJECTOR_HH
+#define CMPMEM_FAULTS_FAULT_INJECTOR_HH
+
+#include "faults/fault_config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    const FaultConfig &config() const { return cfg; }
+    const FaultStats &stats() const { return st; }
+
+    /**
+     * Sample the ECC outcome of one DRAM read and return the extra
+     * latency the access pays (0 on a clean read). Throws
+     * SimErrorKind::Fault on a detected double-bit error when
+     * fatalOnDoubleBit is set.
+     */
+    Tick dramReadPenalty(Addr addr);
+
+    /** Does this bus/crossbar transfer get NACKed? (counts on true) */
+    bool netNack();
+
+    /** Backoff before re-arbitrating NACKed attempt @p attempt (1-based). */
+    Tick netBackoff(int attempt) const
+    {
+        return cfg.netRetryBackoff * Tick(attempt);
+    }
+
+    void noteNetRetry() { ++st.netRetries; }
+
+    /** Does this DMA access fail? (counts on true) */
+    bool dmaFault();
+
+    Tick dmaBackoff(int attempt) const
+    {
+        return cfg.dmaRetryBackoff * Tick(attempt);
+    }
+
+    void noteDmaRetry() { ++st.dmaRetries; }
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    FaultStats st;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_FAULTS_FAULT_INJECTOR_HH

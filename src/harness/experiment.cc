@@ -2,11 +2,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "harness/table.hh"
+#include "sim/log.hh"
 
 namespace cmpmem
 {
+
+namespace
+{
+
+/** Process-wide overrides from parseBenchArgs(). */
+FaultConfig benchFaults;
+WatchdogConfig benchWatchdog;
+
+} // namespace
+
+void
+parseBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--faults") == 0) {
+            benchFaults = stressFaultConfig(1);
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            benchFaults = stressFaultConfig(
+                std::strtoull(arg + 9, nullptr, 0));
+        } else if (std::strncmp(arg, "--watchdog-ticks=", 17) == 0) {
+            benchWatchdog.maxTicks =
+                std::strtoull(arg + 17, nullptr, 0);
+        } else {
+            fatal("%s: unknown argument '%s' (supported: "
+                  "--faults[=SEED], --watchdog-ticks=N)",
+                  argv[0], arg);
+        }
+    }
+}
 
 SystemConfig
 makeConfig(int cores, MemModel model, double ghz, double dram_gbps)
@@ -16,6 +48,8 @@ makeConfig(int cores, MemModel model, double ghz, double dram_gbps)
     cfg.model = model;
     cfg.coreClockGhz = ghz;
     cfg.dram.bandwidthGBps = dram_gbps;
+    cfg.faults = benchFaults;
+    cfg.watchdog = benchWatchdog;
     return cfg;
 }
 

@@ -17,9 +17,29 @@
 namespace cmpmem
 {
 
-/** A Table 2 configuration with the usual experiment knobs. */
+/**
+ * A Table 2 configuration with the usual experiment knobs. Also
+ * applies any process-wide bench overrides recorded by
+ * parseBenchArgs() (fault injection, watchdog budget).
+ */
 SystemConfig makeConfig(int cores, MemModel model, double ghz = 0.8,
                         double dram_gbps = 3.2);
+
+/**
+ * Parse the common bench command-line flags and record them as
+ * process-wide overrides that makeConfig() folds into every
+ * configuration it hands out:
+ *
+ *   --faults[=SEED]      enable the stress fault-injection config
+ *                        (stressFaultConfig) with the given seed
+ *                        (default 1); see DESIGN.md section 11
+ *   --watchdog-ticks=N   guard every run with an N-simulated-tick
+ *                        liveness budget
+ *
+ * Unknown arguments are fatal so typos don't silently run the
+ * default experiment. Call it first thing in main().
+ */
+void parseBenchArgs(int argc, char **argv);
 
 /**
  * Figure 2-style breakdown: each component is the per-core average

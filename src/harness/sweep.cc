@@ -12,6 +12,7 @@
 
 #include "harness/table.hh"
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 #include "system/cmp_system.hh"
 
 namespace cmpmem
@@ -94,7 +95,7 @@ energyJson(const EnergyBreakdown &e)
 }
 
 JobResult
-runOneJob(const SweepJob &job)
+runOneJob(const SweepJob &job, const SweepOptions &opts)
 {
     JobResult jr;
     jr.job = job;
@@ -102,15 +103,32 @@ runOneJob(const SweepJob &job)
     LogCapture capture;
     double t0 = threadCpuSeconds();
     try {
-        if (job.run)
+        if (job.run) {
             jr.run = job.run();
-        else
-            jr.run = runWorkload(job.workload, job.cfg, job.params);
+        } else {
+            // Per-job liveness budgets: fill in whatever the job's
+            // own config left unset, so a single hung point cannot
+            // stall the whole sweep.
+            SystemConfig cfg = job.cfg;
+            if (opts.jobMaxTicks && !cfg.watchdog.maxTicks)
+                cfg.watchdog.maxTicks = opts.jobMaxTicks;
+            if (opts.jobMaxHostSeconds > 0 &&
+                cfg.watchdog.maxHostSeconds <= 0) {
+                cfg.watchdog.maxHostSeconds = opts.jobMaxHostSeconds;
+            }
+            jr.run = runWorkload(job.workload, cfg, job.params);
+        }
         jr.ran = true;
+    } catch (const SimError &e) {
+        jr.error = e.what();
+        jr.errorKind = e.kindName();
+        jr.diagnostic = e.diagnostic();
     } catch (const std::exception &e) {
         jr.error = e.what();
+        jr.errorKind = "exception";
     } catch (...) {
         jr.error = "unknown exception";
+        jr.errorKind = "exception";
     }
     // Custom-run jobs usually don't fill hostSeconds themselves;
     // charge them the thread CPU time spent here (see runner.hh for
@@ -374,8 +392,15 @@ SweepResult::toJson() const
         out += "},\n";
         out += "      \"config\": " + configJson(jr.job.cfg) + ",\n";
         out += "      \"ran\": " + jbool(jr.ran) + ",\n";
-        if (!jr.error.empty())
-            out += "      \"error\": " + jstr(jr.error) + ",\n";
+        if (!jr.error.empty()) {
+            out += "      \"error\": {\"kind\": " +
+                   jstr(jr.errorKind.empty() ? "exception"
+                                             : jr.errorKind) +
+                   ", \"message\": " + jstr(jr.error);
+            if (!jr.diagnostic.empty())
+                out += ", \"diagnostic\": " + jstr(jr.diagnostic);
+            out += "},\n";
+        }
         out += "      \"verified\": " + jbool(jr.run.verified) + ",\n";
         out += "      \"host_seconds\": " + jnum(jr.run.hostSeconds) +
                ",\n";
@@ -514,7 +539,7 @@ runJobs(std::string name, std::vector<SweepJob> jobs,
                 ready.pop_front();
                 lock.unlock();
 
-                JobResult jr = runOneJob(jobs[i]);
+                JobResult jr = runOneJob(jobs[i], opts);
                 if (opts.echoLogs && !jr.log.empty()) {
                     emitRaw("--- log from sweep job '" + jobs[i].id +
                             "' ---\n" + jr.log);

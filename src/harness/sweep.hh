@@ -87,6 +87,20 @@ struct JobResult
     RunResult run;
     bool ran = false;  ///< completed without throwing
     std::string error; ///< exception text when !ran
+
+    /**
+     * Error taxonomy when !ran: a SimErrorKind name ("watchdog",
+     * "deadlock", "fault", ...) or "exception" for anything else.
+     */
+    std::string errorKind;
+
+    /**
+     * Machine-state dump attached to the failure (SimError::
+     * diagnostic()), e.g. the watchdog's pending-event / MSHR /
+     * store-buffer report. Empty for plain exceptions.
+     */
+    std::string diagnostic;
+
     std::string log;   ///< warn()/inform() output captured from the run
 };
 
@@ -181,6 +195,24 @@ struct SweepOptions
      * When false the text is only kept in JobResult::log.
      */
     bool echoLogs = true;
+
+    /**
+     * Per-job simulated-tick budget for registry-workload jobs
+     * (0 = none). Applied as cfg.watchdog.maxTicks where the job's
+     * own config has not already set one; a job that exceeds it is
+     * recorded as a "watchdog" failure with a diagnostic dump, and
+     * the rest of the sweep completes normally. Custom-run jobs
+     * manage their own budgets.
+     */
+    Tick jobMaxTicks = 0;
+
+    /**
+     * Per-job host CPU-time budget in seconds for registry-workload
+     * jobs (0 = none); same semantics as jobMaxTicks. Host time is
+     * nondeterministic — prefer jobMaxTicks when reproducibility of
+     * the failure point matters.
+     */
+    double jobMaxHostSeconds = 0;
 };
 
 /** Structured results of a sweep, in job-graph order. */

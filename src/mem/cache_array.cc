@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -19,9 +19,10 @@ isPow2(std::uint32_t x)
 CacheArray::CacheArray(const CacheGeometry &g) : geom(g)
 {
     if (!isPow2(geom.lineBytes) || !isPow2(geom.sets()))
-        fatal("cache geometry must have power-of-two sets and line size "
-              "(size=%u assoc=%u line=%u)",
-              geom.sizeBytes, geom.assoc, geom.lineBytes);
+        throwSimError(SimErrorKind::Config,
+                      "cache geometry must have power-of-two sets and "
+                      "line size (size=%u assoc=%u line=%u)",
+                      geom.sizeBytes, geom.assoc, geom.lineBytes);
     lines.resize(std::size_t(geom.sets()) * geom.assoc);
 }
 

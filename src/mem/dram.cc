@@ -2,7 +2,8 @@
 
 #include <cassert>
 
-#include "sim/log.hh"
+#include "faults/fault_injector.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -10,7 +11,8 @@ namespace cmpmem
 DramChannel::DramChannel(const DramConfig &c) : cfg(c), channel("dram")
 {
     if (cfg.bandwidthGBps <= 0)
-        fatal("DRAM bandwidth must be positive");
+        throwSimError(SimErrorKind::Config,
+                      "DRAM bandwidth must be positive");
     // ticks (ps) to move one granule: bytes / (GB/s) = bytes ns/GB...
     // granule * 1000 / GBps picoseconds.
     ticksPerGranule =
@@ -56,8 +58,11 @@ DramChannel::read(Tick when, Addr addr, std::uint32_t bytes)
     rdBytes += moved;
     ++rdCount;
     Tick start = channel.acquire(when, Tick(granules) * ticksPerGranule);
-    return start + latencyFor(addr) +
-           Tick(granules) * ticksPerGranule;
+    Tick done = start + latencyFor(addr) +
+                Tick(granules) * ticksPerGranule;
+    if (faults)
+        done += faults->dramReadPenalty(addr);
+    return done;
 }
 
 Tick

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <utility>
 
+#include "faults/fault_injector.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -50,6 +52,85 @@ CoherenceFabric::registerL1(L1Controller *l1)
     l1s.push_back(l1);
 }
 
+Tick
+CoherenceFabric::busXfer(Tick t, int cluster, std::uint32_t bytes)
+{
+    if (!faults)
+        return bus(cluster).transfer(t, bytes);
+    for (int attempt = 1;; ++attempt) {
+        Tick done = bus(cluster).transfer(t, bytes);
+        if (!faults->netNack())
+            return done;
+        if (attempt >= faults->config().netMaxRetries) {
+            throwSimError(SimErrorKind::Fault,
+                          "cluster bus %d transfer still NACKed after %d "
+                          "attempts",
+                          cluster, attempt);
+        }
+        faults->noteNetRetry();
+        t = done + faults->netBackoff(attempt);
+    }
+}
+
+Tick
+CoherenceFabric::xbarSend(Tick t, int cluster, std::uint32_t bytes)
+{
+    if (!faults)
+        return xbar.sendFromCluster(t, cluster, bytes);
+    for (int attempt = 1;; ++attempt) {
+        Tick done = xbar.sendFromCluster(t, cluster, bytes);
+        if (!faults->netNack())
+            return done;
+        if (attempt >= faults->config().netMaxRetries) {
+            throwSimError(SimErrorKind::Fault,
+                          "crossbar send from cluster %d still NACKed "
+                          "after %d attempts",
+                          cluster, attempt);
+        }
+        faults->noteNetRetry();
+        t = done + faults->netBackoff(attempt);
+    }
+}
+
+Tick
+CoherenceFabric::xbarDeliver(Tick t, int cluster, std::uint32_t bytes)
+{
+    if (!faults)
+        return xbar.deliverToCluster(t, cluster, bytes);
+    for (int attempt = 1;; ++attempt) {
+        Tick done = xbar.deliverToCluster(t, cluster, bytes);
+        if (!faults->netNack())
+            return done;
+        if (attempt >= faults->config().netMaxRetries) {
+            throwSimError(SimErrorKind::Fault,
+                          "crossbar delivery to cluster %d still NACKed "
+                          "after %d attempts",
+                          cluster, attempt);
+        }
+        faults->noteNetRetry();
+        t = done + faults->netBackoff(attempt);
+    }
+}
+
+std::string
+CoherenceFabric::diagnose() const
+{
+    return strformat(
+        "requests: cluster=%llu global=%llu, snoops=%llu, supplies: "
+        "local=%llu remote=%llu, upgrades=%llu, writebacks=%llu, "
+        "uncore: rd=%llu wr=%llu atomic=%llu",
+        (unsigned long long)stats.clusterRequests,
+        (unsigned long long)stats.globalRequests,
+        (unsigned long long)stats.snoopProbes,
+        (unsigned long long)stats.localSupplies,
+        (unsigned long long)stats.remoteSupplies,
+        (unsigned long long)stats.upgrades,
+        (unsigned long long)stats.writebacks,
+        (unsigned long long)stats.uncoreReads,
+        (unsigned long long)stats.uncoreWrites,
+        (unsigned long long)stats.remoteAtomics);
+}
+
 int
 CoherenceFabric::snoopCluster(int cluster, int requester, Addr line,
                               bool invalidate, bool &supplier_was_dirty,
@@ -88,7 +169,7 @@ CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
     ++stats.clusterRequests;
 
     // Step 1: broadcast the request on the local cluster bus.
-    Tick t_req = bus(cl).transfer(t, net.requestBytes);
+    Tick t_req = busXfer(t, cl, net.requestBytes);
 
     if (coherent && !l1s.empty()) {
         bool dirty = false;
@@ -104,27 +185,24 @@ CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
                 // MESI: downgraded dirty owner writes the line back.
                 writebackLine(t_req, supplier, line);
             }
-            result.done = bus(cl).transfer(t_req, line_bytes);
+            result.done = busXfer(t_req, cl, line_bytes);
             result.othersRetainCopy = retain;
             if (exclusive && !owner) {
                 // The supplier held the line Shared, so copies may
                 // exist in other clusters: a read-for-ownership must
                 // still broadcast invalidations globally and wait
                 // for the acknowledgements.
-                Tick t_global = xbar.sendFromCluster(
-                    t_req, cl, net.requestBytes);
+                Tick t_global = xbarSend(t_req, cl, net.requestBytes);
                 Tick acked = t_global;
                 for (int c2 = 0; c2 < numClusters; ++c2) {
                     if (c2 == cl)
                         continue;
-                    Tick tr = bus(c2).transfer(t_global,
-                                               net.requestBytes);
+                    Tick tr = busXfer(t_global, c2, net.requestBytes);
                     bool d2 = false, o2 = false, r2 = false;
                     snoopCluster(c2, core_id, line, true, d2, o2, r2);
                     acked = std::max(acked, tr);
                 }
-                acked = xbar.deliverToCluster(acked, cl,
-                                              net.requestBytes);
+                acked = xbarDeliver(acked, cl, net.requestBytes);
                 result.done = std::max(result.done, acked);
             }
             return result;
@@ -134,7 +212,7 @@ CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
     // Step 2: the request goes global -- broadcast to the other
     // clusters and look up the L2 in parallel.
     ++stats.globalRequests;
-    Tick t_global = xbar.sendFromCluster(t_req, cl, net.requestBytes);
+    Tick t_global = xbarSend(t_req, cl, net.requestBytes);
 
     int remote_supplier = -1;
     int remote_cluster = -1;
@@ -144,7 +222,7 @@ CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
         for (int c2 = 0; c2 < numClusters; ++c2) {
             if (c2 == cl)
                 continue;
-            Tick tr = bus(c2).transfer(t_global, net.requestBytes);
+            Tick tr = busXfer(t_global, c2, net.requestBytes);
             t_remote_snooped = std::max(t_remote_snooped, tr);
             bool dirty = false;
             bool owner = false;
@@ -168,19 +246,18 @@ CoherenceFabric::fetchLine(Tick t, int core_id, Addr line, bool exclusive,
         l1s[remote_supplier]->stats.suppliesProvided++;
         if (remote_dirty && !exclusive)
             writebackLine(t_remote_snooped, remote_supplier, line);
-        Tick t1 = bus(remote_cluster).transfer(t_remote_snooped,
-                                               line_bytes);
-        Tick t2 = xbar.sendFromCluster(t1, remote_cluster, line_bytes);
-        Tick t3 = xbar.deliverToCluster(t2, cl, line_bytes);
-        result.done = bus(cl).transfer(t3, line_bytes);
+        Tick t1 = busXfer(t_remote_snooped, remote_cluster, line_bytes);
+        Tick t2 = xbarSend(t1, remote_cluster, line_bytes);
+        Tick t3 = xbarDeliver(t2, cl, line_bytes);
+        result.done = busXfer(t3, cl, line_bytes);
         return result;
     }
 
     // Step 3: L2 (and DRAM beyond it).
     bool l2_hit = false;
     Tick t_l2 = l2cache.readLine(t_global, line, l2_hit);
-    Tick t_back = xbar.deliverToCluster(t_l2, cl, line_bytes);
-    result.done = bus(cl).transfer(t_back, line_bytes);
+    Tick t_back = xbarDeliver(t_l2, cl, line_bytes);
+    result.done = busXfer(t_back, cl, line_bytes);
     return result;
 }
 
@@ -191,7 +268,7 @@ CoherenceFabric::upgradeLine(Tick t, int core_id, Addr line)
     ++stats.upgrades;
 
     // Invalidate within the cluster.
-    Tick t_req = bus(cl).transfer(t, net.requestBytes);
+    Tick t_req = busXfer(t, cl, net.requestBytes);
     bool dirty = false;
     bool owner = false;
     bool retain = false;
@@ -200,18 +277,18 @@ CoherenceFabric::upgradeLine(Tick t, int core_id, Addr line)
 
     // Upgrades cannot be satisfied within one cluster (another
     // sharer may exist anywhere), so they always broadcast globally.
-    Tick t_global = xbar.sendFromCluster(t_req, cl, net.requestBytes);
+    Tick t_global = xbarSend(t_req, cl, net.requestBytes);
     Tick done = t_global;
     for (int c2 = 0; c2 < numClusters; ++c2) {
         if (c2 == cl)
             continue;
-        Tick tr = bus(c2).transfer(t_global, net.requestBytes);
+        Tick tr = busXfer(t_global, c2, net.requestBytes);
         if (!l1s.empty())
             snoopCluster(c2, core_id, line, true, dirty, owner, retain);
         done = std::max(done, tr);
     }
     // Acknowledgement collapses back through the crossbar.
-    return xbar.deliverToCluster(done, cl, net.requestBytes);
+    return xbarDeliver(done, cl, net.requestBytes);
 }
 
 void
@@ -222,8 +299,8 @@ CoherenceFabric::writebackLine(Tick t, int core_id, Addr line)
     ++stats.writebacks;
     if (checker)
         checker->onWriteback(t, core_id, line);
-    Tick t1 = bus(cl).transfer(t, line_bytes);
-    Tick t2 = xbar.sendFromCluster(t1, cl, line_bytes);
+    Tick t1 = busXfer(t, cl, line_bytes);
+    Tick t2 = xbarSend(t1, cl, line_bytes);
     l2cache.writeLine(t2, line, line_bytes, true);
 }
 
@@ -232,12 +309,12 @@ CoherenceFabric::uncoreRead(Tick t, int cluster, Addr line,
                             std::uint32_t bytes)
 {
     ++stats.uncoreReads;
-    Tick t1 = bus(cluster).transfer(t, net.requestBytes);
-    Tick t2 = xbar.sendFromCluster(t1, cluster, net.requestBytes);
+    Tick t1 = busXfer(t, cluster, net.requestBytes);
+    Tick t2 = xbarSend(t1, cluster, net.requestBytes);
     bool hit = false;
     Tick t3 = l2cache.readLine(t2, line, hit);
-    Tick t4 = xbar.deliverToCluster(t3, cluster, bytes);
-    return bus(cluster).transfer(t4, bytes);
+    Tick t4 = xbarDeliver(t3, cluster, bytes);
+    return busXfer(t4, cluster, bytes);
 }
 
 Tick
@@ -245,8 +322,8 @@ CoherenceFabric::uncoreWrite(Tick t, int cluster, Addr line,
                              std::uint32_t bytes, bool full_line)
 {
     ++stats.uncoreWrites;
-    Tick t1 = bus(cluster).transfer(t, bytes);
-    Tick t2 = xbar.sendFromCluster(t1, cluster, bytes);
+    Tick t1 = busXfer(t, cluster, bytes);
+    Tick t2 = xbarSend(t1, cluster, bytes);
     return l2cache.writeLine(t2, line, bytes, full_line);
 }
 
@@ -258,15 +335,15 @@ CoherenceFabric::remoteAtomic(Tick t, int cluster, Addr line)
     // checker's golden copy (no requester core: the op is uncore).
     if (checker)
         checker->onStoreData(t, -1, line);
-    Tick t1 = bus(cluster).transfer(t, net.requestBytes);
-    Tick t2 = xbar.sendFromCluster(t1, cluster, net.requestBytes);
+    Tick t1 = busXfer(t, cluster, net.requestBytes);
+    Tick t2 = xbarSend(t1, cluster, net.requestBytes);
     // One L2 bank pass performs the read-modify-write at the line
     // holding the synchronization variable.
     bool hit = false;
     Tick t3 = l2cache.readLine(t2, line, hit);
     (void)hit;
-    Tick t4 = xbar.deliverToCluster(t3, cluster, net.requestBytes);
-    return bus(cluster).transfer(t4, net.requestBytes);
+    Tick t4 = xbarDeliver(t3, cluster, net.requestBytes);
+    return busXfer(t4, cluster, net.requestBytes);
 }
 
 //
@@ -736,6 +813,30 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
         mshr.complete(line, done);
     });
     mshr.addWaiter(line, std::move(finish));
+}
+
+std::string
+L1Controller::diagName() const
+{
+    return strformat("l1[%d]", id);
+}
+
+std::string
+L1Controller::diagnose() const
+{
+    std::string out = strformat(
+        "mshr in-flight=%zu (peak %zu), store buffer occupancy=%zu, "
+        "demand misses=%llu, fills=%llu",
+        mshr.inFlight(), mshr.peakOccupancy(), sb.occupancy(),
+        (unsigned long long)stats.demandMisses(),
+        (unsigned long long)stats.fills);
+    std::string lines = mshr.diagnose();
+    if (!lines.empty())
+        out += "\n" + lines;
+    std::string sbd = sb.diagnose();
+    if (!sbd.empty())
+        out += "\n" + sbd;
+    return out;
 }
 
 std::uint64_t

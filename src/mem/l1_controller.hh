@@ -32,12 +32,14 @@
 #include "mem/l2_cache.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
+#include "sim/diagnosable.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
 {
 
+class FaultInjector;
 class L1Controller;
 class StreamPrefetcher;
 
@@ -99,7 +101,7 @@ struct FabricCounters
  * and the DRAM channel. All transaction timing walks live here, so
  * L1 controllers and DMA engines stay simple clients.
  */
-class CoherenceFabric
+class CoherenceFabric : public Diagnosable
 {
   public:
     CoherenceFabric(const InterconnectConfig &net, int cores,
@@ -110,6 +112,17 @@ class CoherenceFabric
 
     /** Attach the runtime coherence checker (null to detach). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
+
+    /**
+     * Attach the system fault injector (null to detach). Every bus
+     * and crossbar transfer then samples the NACK model: a NACKed
+     * transfer backs off linearly and re-arbitrates, up to
+     * netMaxRetries before SimErrorKind::Fault.
+     */
+    void setFaultInjector(FaultInjector *fi) { faults = fi; }
+
+    std::string diagName() const override { return "fabric"; }
+    std::string diagnose() const override;
 
     int clusterOf(int core_id) const { return core_id / clusterSize; }
     int clusters() const { return numClusters; }
@@ -178,6 +191,16 @@ class CoherenceFabric
                      bool invalidate, bool &supplier_was_dirty,
                      bool &supplier_was_owner, bool &others_retain);
 
+    /**
+     * Fault-aware wrappers around the raw interconnect resources.
+     * Without an injector each is exactly one transfer call, so the
+     * fault-free walk is unchanged; with one, NACKed attempts retry
+     * with linear backoff.
+     */
+    Tick busXfer(Tick t, int cluster, std::uint32_t bytes);
+    Tick xbarSend(Tick t, int cluster, std::uint32_t bytes);
+    Tick xbarDeliver(Tick t, int cluster, std::uint32_t bytes);
+
     InterconnectConfig net;
     int numCores;
     int clusterSize;
@@ -188,6 +211,7 @@ class CoherenceFabric
     Crossbar xbar;
     std::vector<L1Controller *> l1s;
     CoherenceChecker *checker = nullptr;
+    FaultInjector *faults = nullptr;
     FabricCounters stats;
 };
 
@@ -211,7 +235,7 @@ struct L1Config
  * supplied callback with the completion tick. The owning Core turns
  * those callbacks into coroutine resumptions and stall accounting.
  */
-class L1Controller
+class L1Controller : public Diagnosable
 {
   public:
     using Callback = std::function<void(Tick)>;
@@ -288,6 +312,9 @@ class L1Controller
     const L1Config &config() const { return cfg; }
     const CacheArray &tags() const { return array; }
     int coreId() const { return id; }
+
+    std::string diagName() const override;
+    std::string diagnose() const override;
 
     /** Line flag marking frames installed by the prefetcher. */
     static constexpr std::uint8_t flagPrefetched = 0x1;

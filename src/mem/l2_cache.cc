@@ -4,6 +4,7 @@
 #include <string>
 
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -12,9 +13,11 @@ L2Cache::L2Cache(const L2Config &c, DramChannel &dram_channel)
     : cfg(c), dram(dram_channel)
 {
     if (cfg.banks == 0 || (cfg.banks & (cfg.banks - 1)) != 0)
-        fatal("L2 bank count must be a power of two");
+        throwSimError(SimErrorKind::Config,
+                      "L2 bank count must be a power of two");
     if (cfg.sizeBytes % cfg.banks != 0)
-        fatal("L2 size must divide evenly across banks");
+        throwSimError(SimErrorKind::Config,
+                      "L2 size must divide evenly across banks");
 
     CacheGeometry geom;
     geom.sizeBytes = cfg.sizeBytes / cfg.banks;
@@ -109,6 +112,22 @@ L2Cache::writeLine(Tick when, Addr line, std::uint32_t bytes,
     handleVictim(done, victim);
     fresh.state = MesiState::Modified;
     return done;
+}
+
+std::string
+L2Cache::diagnose() const
+{
+    std::string out = strformat(
+        "hits=%llu misses=%llu, writebacks-to-dram=%llu, "
+        "refills-avoided=%llu", (unsigned long long)numHits,
+        (unsigned long long)numMisses, (unsigned long long)numWbToDram,
+        (unsigned long long)numRefillsAvoided);
+    for (std::size_t b = 0; b < bankArray.size(); ++b) {
+        out += strformat("\nbank %zu: port next free at tick %llu", b,
+                         (unsigned long long)
+                             bankArray[b]->port.nextFree());
+    }
+    return out;
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
 #include "mem/resource.hh"
+#include "sim/diagnosable.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -39,7 +40,7 @@ struct L2Config
  * The banked L2. Addresses interleave across banks at line
  * granularity.
  */
-class L2Cache
+class L2Cache : public Diagnosable
 {
   public:
     /**
@@ -98,6 +99,9 @@ class L2Cache
     std::uint64_t accesses() const { return numHits + numMisses; }
     std::uint64_t writebacksToDram() const { return numWbToDram; }
     std::uint64_t refillsAvoided() const { return numRefillsAvoided; }
+
+    std::string diagName() const override { return "l2"; }
+    std::string diagnose() const override;
 
   private:
     struct Bank

@@ -47,6 +47,27 @@ MshrFile::addWaiter(Addr line, Waiter waiter)
     it->second.waiters.push_back(std::move(waiter));
 }
 
+std::string
+MshrFile::diagnose() const
+{
+    std::vector<Addr> pending;
+    pending.reserve(entries.size());
+    for (const auto &kv : entries)
+        pending.push_back(kv.first);
+    std::sort(pending.begin(), pending.end());
+    std::string out;
+    for (Addr line : pending) {
+        const Entry &e = entries.at(line);
+        if (!out.empty())
+            out += '\n';
+        out += strformat("mshr: line 0x%llx %s, %zu waiter(s)",
+                         (unsigned long long)line,
+                         e.exclusive ? "exclusive" : "shared",
+                         e.waiters.size());
+    }
+    return out;
+}
+
 void
 MshrFile::complete(Addr line, Tick fill_tick)
 {

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/diagnosable.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -25,7 +27,7 @@ namespace cmpmem
  * misses"; the default capacity is therefore generous, but a limit is
  * enforced and reported for fidelity.
  */
-class MshrFile
+class MshrFile : public Diagnosable
 {
   public:
     using Waiter = std::function<void(Tick fill_tick)>;
@@ -72,6 +74,11 @@ class MshrFile
     std::uint64_t merges() const { return numMerges; }
     std::uint64_t allocations() const { return numAllocs; }
     std::uint64_t peakOccupancy() const { return peak; }
+
+    std::string diagName() const override { return "mshr"; }
+
+    /** In-flight fills (line, intent, waiter count), sorted by line. */
+    std::string diagnose() const override;
 
   private:
     struct Entry

@@ -1,7 +1,11 @@
 #include "mem/store_buffer.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+#include <vector>
+
+#include "sim/log.hh"
 
 namespace cmpmem
 {
@@ -32,6 +36,29 @@ StoreBuffer::complete(Addr line, Tick when)
         spaceWaiter = nullptr;
         w(when);
     }
+}
+
+std::string
+StoreBuffer::diagnose() const
+{
+    std::vector<Addr> pending;
+    pending.reserve(lines.size());
+    for (const auto &kv : lines)
+        pending.push_back(kv.first);
+    std::sort(pending.begin(), pending.end());
+    std::string out;
+    for (Addr line : pending) {
+        if (!out.empty())
+            out += '\n';
+        out += strformat("store-buffer: line 0x%llx pending",
+                         (unsigned long long)line);
+    }
+    if (spaceWaiter) {
+        if (!out.empty())
+            out += '\n';
+        out += "store-buffer: full, core blocked waiting for a slot";
+    }
+    return out;
 }
 
 void

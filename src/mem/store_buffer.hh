@@ -16,14 +16,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
+#include "sim/diagnosable.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
 {
 
-class StoreBuffer
+class StoreBuffer : public Diagnosable
 {
   public:
     using SpaceWaiter = std::function<void(Tick)>;
@@ -65,6 +67,11 @@ class StoreBuffer
 
     std::uint64_t inserts() const { return numInserts; }
     std::uint64_t fullStalls() const { return numFullStalls; }
+
+    std::string diagName() const override { return "store-buffer"; }
+
+    /** Parked store lines (sorted) and whether a core is blocked. */
+    std::string diagnose() const override;
 
   private:
     std::size_t cap;

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Interface for components that can describe their internal state
+ * when a simulation dies.
+ *
+ * When the liveness watchdog trips or the deadlock detector fires,
+ * CmpSystem::dumpDiagnostics() walks every Diagnosable — the L1
+ * controllers (with their MSHR files and store buffers), the L2, the
+ * coherence fabric, and the DMA engines — and assembles a text dump
+ * of pending events, queue occupancies, in-flight transfers, and
+ * blocked-coroutine state. The dump rides on the SimError's
+ * diagnostic() field into the sweep's JSON artifact, so a hung config
+ * point in a 100-job sweep leaves enough evidence to debug offline.
+ *
+ * diagnose() must be side-effect free: it is called on a machine
+ * that is wedged mid-transaction and must not touch the event queue
+ * or mutate any simulation state.
+ */
+
+#ifndef CMPMEM_SIM_DIAGNOSABLE_HH
+#define CMPMEM_SIM_DIAGNOSABLE_HH
+
+#include <string>
+
+namespace cmpmem
+{
+
+class Diagnosable
+{
+  public:
+    virtual ~Diagnosable() = default;
+
+    /** Short instance name for the dump ("l1[3]", "dma[0]"). */
+    virtual std::string diagName() const = 0;
+
+    /** One-or-few-line summary of internal state (no trailing \n). */
+    virtual std::string diagnose() const = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_DIAGNOSABLE_HH

@@ -1,15 +1,46 @@
 #include "sim/event_queue.hh"
 
-#include <cassert>
+#include <ctime>
 #include <utility>
+
+#include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
 
+namespace
+{
+
+/**
+ * CPU seconds consumed by the calling thread. Local copy of the
+ * harness helper: sim/ must not depend on harness/, and the watchdog
+ * wants per-thread time so one slow sweep job cannot spend the
+ * budgets of its siblings.
+ */
+double
+hostThreadSeconds()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+} // namespace
+
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    assert(when >= curTick && "scheduling an event in the past");
+    if (when < curTick) {
+        // A model bug, not user error — but one that must surface in
+        // release builds too, or the event silently fires "now" and
+        // corrupts timing for the rest of the run.
+        throwSimError(SimErrorKind::Model,
+                      "event scheduled in the past (when=%llu, now=%llu)",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(curTick));
+    }
     events.push(Event{when, nextSeq++, std::move(cb)});
 }
 
@@ -32,6 +63,100 @@ EventQueue::runUntil(Tick limit)
         ev.cb();
     }
     return curTick;
+}
+
+Tick
+EventQueue::runGuarded(const RunGuard &guard)
+{
+    if (!guard.engaged())
+        return run();
+
+    const Tick startTick = curTick;
+    const double startHost = guard.maxHostSeconds > 0 ? hostThreadSeconds() : 0;
+
+    // The host-time check needs a cadence even when the caller only
+    // set maxHostSeconds; checking every event would thrash
+    // clock_gettime.
+    const std::uint64_t cadence = guard.progressCheckEvents != 0
+                                      ? guard.progressCheckEvents
+                                      : 4096;
+    std::uint64_t nextCheck = numExecuted + cadence;
+    std::uint64_t lastProbe =
+        guard.progressProbe ? guard.progressProbe() : curTick;
+    bool probeArmed = false;
+
+    auto fail = [&](const char *what, std::string detail) {
+        std::string diag = guard.diagnostic ? guard.diagnostic() : "";
+        throw SimError(SimErrorKind::Watchdog,
+                       strformat("watchdog: %s (%s)", what, detail.c_str()),
+                       std::move(diag));
+    };
+
+    while (!events.empty()) {
+        const Tick next = events.top().when;
+        if (guard.maxTicks != 0 && next > startTick + guard.maxTicks) {
+            fail("simulated-tick budget exceeded",
+                 strformat("next event at tick %llu, budget was %llu ticks "
+                           "from tick %llu",
+                           static_cast<unsigned long long>(next),
+                           static_cast<unsigned long long>(guard.maxTicks),
+                           static_cast<unsigned long long>(startTick)));
+        }
+
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        curTick = ev.when;
+        ++numExecuted;
+        ev.cb();
+
+        if (numExecuted < nextCheck)
+            continue;
+        nextCheck = numExecuted + cadence;
+
+        if (guard.maxHostSeconds > 0) {
+            double spent = hostThreadSeconds() - startHost;
+            if (spent > guard.maxHostSeconds) {
+                fail("host CPU-time budget exceeded",
+                     strformat("%.1fs spent, budget %.1fs", spent,
+                               guard.maxHostSeconds));
+            }
+        }
+
+        if (guard.progressCheckEvents != 0) {
+            std::uint64_t probe =
+                guard.progressProbe ? guard.progressProbe() : curTick;
+            if (probe != lastProbe) {
+                lastProbe = probe;
+                probeArmed = false;
+            } else if (!probeArmed) {
+                // Grace interval: require two consecutive stalled
+                // windows so a long-latency phase isn't misread as a
+                // livelock.
+                probeArmed = true;
+            } else {
+                fail("no forward progress",
+                     strformat("probe stuck at %llu for %llu events "
+                               "(tick %llu)",
+                               static_cast<unsigned long long>(probe),
+                               static_cast<unsigned long long>(2 * cadence),
+                               static_cast<unsigned long long>(curTick)));
+            }
+        }
+    }
+    return curTick;
+}
+
+std::vector<Tick>
+EventQueue::pendingEventTicks(std::size_t max) const
+{
+    auto copy = events;
+    std::vector<Tick> out;
+    out.reserve(max < copy.size() ? max : copy.size());
+    while (!copy.empty() && out.size() < max) {
+        out.push_back(copy.top().when);
+        copy.pop();
+    }
+    return out;
 }
 
 } // namespace cmpmem

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -39,7 +40,7 @@ class EventQueue
      * Schedule @p cb to run at tick @p when.
      *
      * @pre when >= now(); scheduling in the past is a simulator bug
-     *      and asserts.
+     *      and throws SimErrorKind::Model (in release builds too).
      */
     void schedule(Tick when, Callback cb);
 
@@ -52,12 +53,67 @@ class EventQueue
      */
     Tick runUntil(Tick limit);
 
+    /**
+     * Liveness budgets for runGuarded(). All budgets are optional;
+     * with none set the guarded run degenerates to run(). The guard
+     * only observes execution — it never changes event order or
+     * timing, so a guarded run that stays within budget produces
+     * bit-identical results to an unguarded one.
+     */
+    struct RunGuard
+    {
+        /** Budget of simulated ticks past the tick at run start. */
+        Tick maxTicks = 0;
+
+        /** Budget of host thread-CPU seconds (hang insurance). */
+        double maxHostSeconds = 0;
+
+        /**
+         * Every this many executed events, progressProbe() must have
+         * advanced; catches livelocks that neither drain the queue
+         * nor run out the tick budget (0 disables the check).
+         */
+        std::uint64_t progressCheckEvents = 0;
+
+        /**
+         * Monotone forward-progress counter (instructions retired,
+         * typically). When empty, the current tick is the probe, so
+         * a same-tick self-rescheduling loop is still caught.
+         */
+        std::function<std::uint64_t()> progressProbe;
+
+        /**
+         * Machine-state dump attached to the thrown SimError
+         * (CmpSystem wires dumpDiagnostics() here).
+         */
+        std::function<std::string()> diagnostic;
+
+        bool engaged() const
+        {
+            return maxTicks != 0 || maxHostSeconds > 0 ||
+                   progressCheckEvents != 0;
+        }
+    };
+
+    /**
+     * Run until the queue drains, enforcing @p guard's budgets.
+     * Throws SimErrorKind::Watchdog (diagnostic attached) when a
+     * budget is exceeded or forward progress stops.
+     */
+    Tick runGuarded(const RunGuard &guard);
+
     bool empty() const { return events.empty(); }
 
     std::size_t pending() const { return events.size(); }
 
     /** Total events executed so far (monotone; useful in tests). */
     std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Ticks of the next @p max pending events in firing order
+     * (diagnostics only: copies the queue).
+     */
+    std::vector<Tick> pendingEventTicks(std::size_t max = 16) const;
 
   private:
     struct Event

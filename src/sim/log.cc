@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <vector>
 
@@ -24,20 +25,6 @@ logMutex()
 
 thread_local LogCapture *tlsCapture = nullptr;
 
-std::string
-vformat(const char *fmt, std::va_list ap)
-{
-    std::va_list ap2;
-    va_copy(ap2, ap);
-    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
-    va_end(ap2);
-    if (n < 0)
-        return fmt; // formatting error: fall back to the raw string
-    std::vector<char> buf(std::size_t(n) + 1);
-    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
-    return std::string(buf.data(), std::size_t(n));
-}
-
 /** One locked, line-atomic write to stderr. */
 void
 emit(const char *tag, const std::string &msg)
@@ -49,7 +36,7 @@ emit(const char *tag, const std::string &msg)
 void
 vlog(const char *tag, const char *fmt, std::va_list ap)
 {
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrformat(fmt, ap);
     if (tlsCapture)
         tlsCapture->append(tag, msg);
     else
@@ -63,7 +50,7 @@ vlog(const char *tag, const char *fmt, std::va_list ap)
 void
 vlogFatal(const char *tag, const char *fmt, std::va_list ap)
 {
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrformat(fmt, ap);
     std::lock_guard<std::mutex> lock(logMutex());
     if (tlsCapture && !tlsCapture->empty())
         std::fputs(tlsCapture->drain().c_str(), stderr);
@@ -71,6 +58,30 @@ vlogFatal(const char *tag, const char *fmt, std::va_list ap)
 }
 
 } // namespace
+
+std::string
+vstrformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return fmt; // formatting error: fall back to the raw string
+    std::vector<char> buf(std::size_t(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), std::size_t(n));
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
 
 LogCapture::LogCapture() : prev(tlsCapture)
 {
@@ -80,6 +91,15 @@ LogCapture::LogCapture() : prev(tlsCapture)
 LogCapture::~LogCapture()
 {
     tlsCapture = prev;
+    // Dying via exception with lines still buffered: hand them to the
+    // enclosing capture (the sweep worker's, typically) or emit them,
+    // so a failed job's log block survives the unwind.
+    if (!buf.empty() && std::uncaught_exceptions() > 0) {
+        if (prev)
+            prev->buf += buf;
+        else
+            emitRaw(buf);
+    }
 }
 
 std::string

@@ -20,6 +20,13 @@
 namespace cmpmem
 {
 
+/** vsnprintf into a std::string (the formatter behind fatal/warn). */
+std::string vstrformat(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 /** Print an error caused by bad user input/configuration and exit(1). */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -56,6 +63,11 @@ bool isQuiet();
  * fatal()/panic() bypass the capture — they first flush the pending
  * buffer so the context of a dying run is not lost, then write their
  * own message directly to stderr.
+ *
+ * A capture destroyed during stack unwinding (a job dying via
+ * exception) does not lose its pending lines: they flush into the
+ * enclosing capture if one exists, else straight to stderr, so a
+ * failed sweep job still emits its log block.
  */
 class LogCapture
 {

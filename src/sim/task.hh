@@ -47,14 +47,18 @@ class KernelTask
         std::suspend_always final_suspend() noexcept { return {}; }
         void return_void() noexcept {}
 
+        /**
+         * A throwing kernel (a SimError from the model, typically)
+         * must not take the process down: park the exception and let
+         * the owning Core rethrow it out of the event loop, where
+         * the sweep engine can record it per job.
+         */
+        std::exception_ptr error;
+
         void
         unhandled_exception() noexcept
         {
-            // A throwing kernel is a workload bug; there is no one to
-            // rethrow to inside the event loop, so fail loudly.
-            std::fprintf(stderr,
-                         "cmpmem: unhandled exception in kernel coroutine\n");
-            std::terminate();
+            error = std::current_exception();
         }
     };
 
@@ -86,6 +90,19 @@ class KernelTask
     bool valid() const { return static_cast<bool>(h); }
 
     bool done() const { return !h || h.done(); }
+
+    /**
+     * Rethrow the exception that terminated the kernel, if any.
+     * Called by the owning Core after every resumption so a dying
+     * kernel propagates out of EventQueue::run() to the caller of
+     * CmpSystem::simulate() instead of std::terminate()ing.
+     */
+    void
+    rethrowIfFailed() const
+    {
+        if (h && h.done() && h.promise().error)
+            std::rethrow_exception(h.promise().error);
+    }
 
     /** Resume the kernel; must not be called once done(). */
     void
@@ -147,12 +164,13 @@ struct CoPromiseBase
     std::suspend_always initial_suspend() noexcept { return {}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
 
+    /** Parked for the awaiting coroutine's await_resume to rethrow. */
+    std::exception_ptr error;
+
     void
     unhandled_exception() noexcept
     {
-        std::fprintf(stderr,
-                     "cmpmem: unhandled exception in sub-coroutine\n");
-        std::terminate();
+        error = std::current_exception();
     }
 };
 
@@ -197,7 +215,13 @@ class Co
         return h;
     }
 
-    T await_resume() { return std::move(h.promise().result); }
+    T
+    await_resume()
+    {
+        if (h.promise().error)
+            std::rethrow_exception(h.promise().error);
+        return std::move(h.promise().result);
+    }
 
   private:
     std::coroutine_handle<promise_type> h;
@@ -240,7 +264,12 @@ class Co<void>
         return h;
     }
 
-    void await_resume() const noexcept {}
+    void
+    await_resume() const
+    {
+        if (h.promise().error)
+            std::rethrow_exception(h.promise().error);
+    }
 
   private:
     std::coroutine_handle<promise_type> h;

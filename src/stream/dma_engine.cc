@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "faults/fault_injector.hh"
 #include "mem/functional_memory.hh"
 #include "mem/l1_controller.hh"
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 #include "stream/local_store.hh"
 
 namespace cmpmem
@@ -59,16 +61,31 @@ DmaEngine::executeChunks(Tick t, const std::vector<Chunk> &chunks,
                                         line - std::uint32_t(a - line_addr));
             Tick start = issueSlot(t);
             Tick comp;
-            if (is_get) {
-                comp = fabric.uncoreRead(start, cluster, line_addr, line);
-                stats.bytesRead += line;
-            } else {
-                bool full = (in_line == line);
-                comp = fabric.uncoreWrite(start, cluster, line_addr, line,
-                                          full);
-                stats.bytesWritten += line;
+            bool full = (in_line == line);
+            for (int attempt = 1;; ++attempt) {
+                if (is_get) {
+                    comp = fabric.uncoreRead(start, cluster, line_addr,
+                                             line);
+                    stats.bytesRead += line;
+                } else {
+                    comp = fabric.uncoreWrite(start, cluster, line_addr,
+                                              line, full);
+                    stats.bytesWritten += line;
+                }
+                ++stats.accesses;
+                if (!faults || !faults->dmaFault())
+                    break;
+                if (attempt >= faults->config().dmaMaxRetries) {
+                    throwSimError(SimErrorKind::Fault,
+                                  "DMA %s at 0x%llx on core %d still "
+                                  "failing after %d attempts",
+                                  is_get ? "get" : "put",
+                                  (unsigned long long)line_addr, coreId,
+                                  attempt);
+                }
+                faults->noteDmaRetry();
+                start = comp + faults->dmaBackoff(attempt);
             }
-            ++stats.accesses;
             inFlight.push_back(comp);
             done = std::max(done, comp);
 
@@ -178,6 +195,30 @@ DmaEngine::completionTick(Ticket ticket) const
 {
     assert(ticket < ticketDone.size());
     return ticketDone[ticket];
+}
+
+std::string
+DmaEngine::diagName() const
+{
+    return strformat("dma[%d]", coreId);
+}
+
+std::string
+DmaEngine::diagnose() const
+{
+    std::string out = strformat(
+        "commands=%llu accesses=%llu, in flight=%zu, engine free at "
+        "tick %llu, last completion tick %llu",
+        (unsigned long long)stats.commands,
+        (unsigned long long)stats.accesses, inFlight.size(),
+        (unsigned long long)engineFree,
+        (unsigned long long)lastCompletion);
+    if (!inFlight.empty()) {
+        out += strformat(
+            "\noldest outstanding access completes at tick %llu",
+            (unsigned long long)inFlight.front());
+    }
+    return out;
 }
 
 } // namespace cmpmem

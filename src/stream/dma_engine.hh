@@ -23,14 +23,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "sim/diagnosable.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
 {
 
 class CoherenceFabric;
+class FaultInjector;
 class FunctionalMemory;
 class LocalStore;
 
@@ -54,13 +57,21 @@ struct DmaCounters
 /**
  * The DMA engine of one streaming core.
  */
-class DmaEngine
+class DmaEngine : public Diagnosable
 {
   public:
     using Ticket = std::uint64_t;
 
     DmaEngine(int core_id, const DmaConfig &cfg, CoherenceFabric &fabric,
               FunctionalMemory &mem, LocalStore &ls);
+
+    /**
+     * Attach the system fault injector (null to detach). Each
+     * line-granule access then samples the transfer-failure model:
+     * a failed access backs off and reissues, up to dmaMaxRetries
+     * before SimErrorKind::Fault.
+     */
+    void setFaultInjector(FaultInjector *fi) { faults = fi; }
 
     /** Sequential memory -> local store. @return completion ticket. */
     Ticket get(Tick t, Addr mem_addr, std::uint32_t ls_off,
@@ -103,6 +114,9 @@ class DmaEngine
 
     const DmaCounters &counters() const { return stats; }
 
+    std::string diagName() const override;
+    std::string diagnose() const override;
+
   private:
     struct Chunk
     {
@@ -122,6 +136,7 @@ class DmaEngine
     CoherenceFabric &fabric;
     FunctionalMemory &mem;
     LocalStore &ls;
+    FaultInjector *faults = nullptr;
 
     /** Engine command processor availability. */
     Tick engineFree = 0;

@@ -1,6 +1,6 @@
 #include "stream/local_store.hh"
 
-#include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -14,9 +14,10 @@ void
 LocalStore::checkRange(std::uint32_t offset, std::size_t n) const
 {
     if (std::uint64_t(offset) + n > bytes.size())
-        fatal("local store access out of range: offset=%u size=%zu "
-              "capacity=%zu",
-              offset, n, bytes.size());
+        throwSimError(SimErrorKind::Model,
+                      "local store access out of range: offset=%u "
+                      "size=%zu capacity=%zu",
+                      offset, n, bytes.size());
 }
 
 void
@@ -37,7 +38,8 @@ const LocalStore::Fifo &
 LocalStore::fifoAt(int id) const
 {
     if (id < 0 || id >= maxFifos)
-        fatal("local store FIFO id %d out of range", id);
+        throwSimError(SimErrorKind::Model,
+                      "local store FIFO id %d out of range", id);
     return fifos[id];
 }
 
@@ -53,7 +55,8 @@ LocalStore::fifoConfig(int id, std::uint32_t base, std::uint32_t n)
 {
     checkRange(base, n);
     if (n == 0)
-        fatal("local store FIFO must cover a non-empty region");
+        throwSimError(SimErrorKind::Model,
+                      "local store FIFO must cover a non-empty region");
     fifoAt(id) = Fifo{base, n, 0, 0};
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -22,6 +23,18 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
         check = std::make_unique<CoherenceChecker>(fmem, cfg.lineBytes);
         fab->attachChecker(check.get());
         l2cache->setObserver(check.get());
+    }
+
+    if (cfg.faults.enabled) {
+#if CMPMEM_FAULTS_ENABLED
+        faultInj = std::make_unique<FaultInjector>(cfg.faults);
+        dramChannel->setFaultInjector(faultInj.get());
+        fab->setFaultInjector(faultInj.get());
+#else
+        throwSimError(SimErrorKind::Config,
+                      "fault injection requested but this build was "
+                      "configured with CMPMEM_FAULTS=OFF");
+#endif
     }
 
     const Clock clock = cfg.coreClock();
@@ -59,6 +72,8 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
             dmaVec.push_back(std::make_unique<DmaEngine>(
                 i, cfg.dma, *fab, fmem, *ls));
             dma = dmaVec.back().get();
+            if (faultInj)
+                dma->setFaultInjector(faultInj.get());
         }
 
         coreVec.push_back(std::make_unique<Core>(
@@ -86,12 +101,40 @@ CmpSystem::simulate()
     for (auto &core : coreVec)
         core->start();
 
-    eq.run();
+    try {
+        if (cfg.watchdog.engaged()) {
+            EventQueue::RunGuard guard;
+            guard.maxTicks = cfg.watchdog.maxTicks;
+            guard.maxHostSeconds = cfg.watchdog.maxHostSeconds;
+            guard.progressCheckEvents = cfg.watchdog.progressCheckEvents;
+            guard.progressProbe = [this] {
+                std::uint64_t retired = 0;
+                for (const auto &core : coreVec)
+                    retired += core->stats().instructions();
+                return retired;
+            };
+            guard.diagnostic = [this] { return dumpDiagnostics(); };
+            eq.runGuarded(guard);
+        } else {
+            eq.run();
+        }
+    } catch (const SimError &e) {
+        // Mid-run failures (an injected fault out of retries, a model
+        // contract violation) abandon the machine where it stands;
+        // attach the state dump if the thrower didn't already.
+        if (e.diagnostic().empty())
+            throw SimError(e.kind(), e.what(), dumpDiagnostics());
+        throw;
+    }
 
-    if (finishedCores != cfg.cores)
-        panic("deadlock: only %d of %d cores finished (a kernel is "
-              "waiting on an event that never fires)",
-              finishedCores, cfg.cores);
+    if (finishedCores != cfg.cores) {
+        throw SimError(
+            SimErrorKind::Deadlock,
+            strformat("deadlock: only %d of %d cores finished (a "
+                      "kernel is waiting on an event that never fires)",
+                      finishedCores, cfg.cores),
+            dumpDiagnostics());
+    }
 
     Tick finish = 0;
     for (auto &core : coreVec)
@@ -190,7 +233,53 @@ CmpSystem::collectStats() const
         rs.checkerEvents = check->eventsObserved();
     }
 
+    if (faultInj)
+        rs.faults = faultInj->stats();
+
     return rs;
+}
+
+std::string
+CmpSystem::dumpDiagnostics() const
+{
+    std::string out = strformat(
+        "=== machine state @ tick %llu ===\n"
+        "event queue: %zu pending, %llu executed; %d of %d cores "
+        "finished",
+        (unsigned long long)eq.now(), eq.pending(),
+        (unsigned long long)eq.executed(), finishedCores, cfg.cores);
+
+    std::vector<Tick> next = eq.pendingEventTicks();
+    if (!next.empty()) {
+        out += "\nnext event ticks:";
+        for (Tick t : next)
+            out += strformat(" %llu", (unsigned long long)t);
+    }
+
+    for (const auto &core : coreVec) {
+        if (core->finished()) {
+            out += strformat("\ncore %d: finished at tick %llu",
+                             core->id(),
+                             (unsigned long long)core->finishTick());
+        } else {
+            out += strformat(
+                "\ncore %d: RUNNING, local tick %llu, %llu "
+                "instruction(s) retired",
+                core->id(), (unsigned long long)core->now(),
+                (unsigned long long)core->stats().instructions());
+        }
+    }
+
+    auto append = [&out](const Diagnosable &d) {
+        out += "\n--- " + d.diagName() + " ---\n" + d.diagnose();
+    };
+    append(*fab);
+    append(*l2cache);
+    for (const auto &l1 : l1Vec)
+        append(*l1);
+    for (const auto &dma : dmaVec)
+        append(*dma);
+    return out;
 }
 
 StatSet
@@ -238,6 +327,13 @@ RunStats::toStatSet() const
     s.set("offchip_bytes_per_sec", offChipBytesPerSec());
     s.set("checker.violations", double(checkerViolations));
     s.set("checker.events", double(checkerEvents));
+    s.set("faults.dram_flips", double(faults.dramFlips));
+    s.set("faults.ecc_corrected", double(faults.eccCorrected));
+    s.set("faults.ecc_detected", double(faults.eccDetected));
+    s.set("faults.net_nacks", double(faults.netNacks));
+    s.set("faults.net_retries", double(faults.netRetries));
+    s.set("faults.dma_faults", double(faults.dmaFaults));
+    s.set("faults.dma_retries", double(faults.dmaRetries));
     return s;
 }
 

@@ -14,6 +14,7 @@
 #include "check/coherence_checker.hh"
 #include "core/context.hh"
 #include "core/core.hh"
+#include "faults/fault_injector.hh"
 #include "mem/dram.hh"
 #include "mem/functional_memory.hh"
 #include "mem/l1_controller.hh"
@@ -66,6 +67,9 @@ struct RunStats
     /** Runtime MESI checker results (zero when not attached). */
     std::uint64_t checkerViolations = 0;
     std::uint64_t checkerEvents = 0;
+
+    /** Fault-injection outcomes (all zero when faults are disabled). */
+    FaultStats faults;
 
     double execSeconds() const
     {
@@ -121,18 +125,37 @@ class CmpSystem
     CoherenceChecker *checker() { return check.get(); }
     const CoherenceChecker *checker() const { return check.get(); }
 
+    /** The fault injector (null unless cfg.faults.enabled). */
+    FaultInjector *faultInjector() { return faultInj.get(); }
+    const FaultInjector *faultInjector() const { return faultInj.get(); }
+
     /** Attach core @p i's kernel coroutine. */
     void bindKernel(int i, KernelTask task);
 
     /**
      * Run every bound kernel to completion, then drain dirty cache
      * state for traffic accounting.
+     *
+     * When cfg.watchdog is engaged the run is guarded: exceeding the
+     * tick/host-time budget or stalling forward progress raises
+     * SimErrorKind::Watchdog carrying dumpDiagnostics(); a drained
+     * queue with unfinished cores raises SimErrorKind::Deadlock. With
+     * the watchdog disengaged, guarded and unguarded runs are
+     * bit-identical.
+     *
      * @return the finish tick of the slowest core.
      */
     Tick simulate();
 
     /** Gather all counters (call after simulate()). */
     RunStats collectStats() const;
+
+    /**
+     * One-stop machine-state dump for hang triage: event-queue
+     * summary, per-core progress/stall state, and every Diagnosable
+     * component (L1s, L2, fabric, DMA engines). Side-effect free.
+     */
+    std::string dumpDiagnostics() const;
 
   private:
     SystemConfig cfg;
@@ -142,6 +165,7 @@ class CmpSystem
     std::unique_ptr<L2Cache> l2cache;
     std::unique_ptr<CoherenceFabric> fab;
     std::unique_ptr<CoherenceChecker> check;
+    std::unique_ptr<FaultInjector> faultInj;
     std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers;
     std::vector<std::unique_ptr<L1Controller>> l1Vec;
     std::vector<std::unique_ptr<LocalStore>> lsVec;

@@ -1,6 +1,6 @@
 #include "system/config.hh"
 
-#include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -9,19 +9,35 @@ void
 SystemConfig::validate() const
 {
     if (cores < 1 || cores > 1024)
-        fatal("core count %d out of range", cores);
+        throwSimError(SimErrorKind::Config, "core count %d out of range",
+                      cores);
     if (coreClockGhz <= 0)
-        fatal("core clock must be positive");
+        throwSimError(SimErrorKind::Config, "core clock must be positive");
     if (clusterSize < 1)
-        fatal("cluster size must be at least 1");
+        throwSimError(SimErrorKind::Config,
+                      "cluster size must be at least 1");
     if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
-        fatal("line size must be a power of two");
+        throwSimError(SimErrorKind::Config,
+                      "line size must be a power of two");
     if (dram.bandwidthGBps <= 0)
-        fatal("DRAM bandwidth must be positive");
+        throwSimError(SimErrorKind::Config,
+                      "DRAM bandwidth must be positive");
     if (hwPrefetch && model == MemModel::STR)
-        fatal("hardware prefetching applies to the cache-based model");
+        throwSimError(SimErrorKind::Config,
+                      "hardware prefetching applies to the cache-based model");
     if (pfsEnabled && model == MemModel::STR)
-        fatal("PFS stores apply to the cache-based model");
+        throwSimError(SimErrorKind::Config,
+                      "PFS stores apply to the cache-based model");
+    if (faults.enabled) {
+        if (faults.dramBitFlipProb < 0 || faults.dramBitFlipProb >= 1 ||
+            faults.netNackProb < 0 || faults.netNackProb >= 1 ||
+            faults.dmaFaultProb < 0 || faults.dmaFaultProb >= 1)
+            throwSimError(SimErrorKind::Config,
+                          "fault probabilities must lie in [0, 1)");
+        if (faults.netMaxRetries < 1 || faults.dmaMaxRetries < 1)
+            throwSimError(SimErrorKind::Config,
+                          "fault retry limits must be at least 1");
+    }
 }
 
 void

@@ -11,6 +11,7 @@
 #include "core/context.hh"
 #include "core/icache_model.hh"
 #include "energy/energy_params.hh"
+#include "faults/fault_config.hh"
 #include "mem/dram.hh"
 #include "mem/interconnect.hh"
 #include "mem/l2_cache.hh"
@@ -70,6 +71,20 @@ struct SystemConfig
     ContextConfig ctx;
     EnergyParams energy;
 
+    /**
+     * Deterministic fault injection (see src/faults/). Disabled by
+     * default; with faults.enabled == false no injector is built and
+     * timing is bit-identical to a build without the subsystem.
+     */
+    FaultConfig faults;
+
+    /**
+     * Liveness watchdog for simulate(). Disengaged by default (all
+     * budgets zero); an engaged watchdog turns hangs and livelocks
+     * into SimErrorKind::Watchdog with a machine-state diagnostic.
+     */
+    WatchdogConfig watchdog;
+
     Clock coreClock() const { return Clock::fromMhz(coreClockGhz * 1000); }
 
     int clusters() const
@@ -77,7 +92,7 @@ struct SystemConfig
         return (cores + clusterSize - 1) / clusterSize;
     }
 
-    /** Sanity-check the configuration; calls fatal() on user error. */
+    /** Sanity-check the configuration; throws SimErrorKind::Config. */
     void validate() const;
 
     /** Fill dependent fields (ctx.pfsEnabled etc.) from top-level ones. */

@@ -26,6 +26,7 @@ std::unique_ptr<Workload> makeMpeg2(const WorkloadParams &);
 std::unique_ptr<Workload> makeH264(const WorkloadParams &);
 std::unique_ptr<Workload> makeRaytrace(const WorkloadParams &);
 std::unique_ptr<Workload> makeStress(const WorkloadParams &);
+std::unique_ptr<Workload> makeHang(const WorkloadParams &);
 
 } // namespace cmpmem
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deliberately non-terminating workload ("hang").
+ *
+ * Not a paper application: this workload exists to exercise the
+ * liveness watchdog (EventQueue::runGuarded) and the sweep engine's
+ * per-job failure isolation. Core 0 spins in an infinite compute loop
+ * — the quantum-flush mechanism keeps generating events forever, so
+ * the run neither drains the queue (no deadlock) nor finishes, and
+ * only a tick/host-time budget can stop it. All other cores park on a
+ * barrier that is never satisfied. Registered hidden: creatable via
+ * createWorkload("hang"), invisible to workloadNames().
+ *
+ * With prm.scale > 1 the spin also touches memory, so the hang
+ * exercises the progress probe with instructions still retiring.
+ */
+
+#include <memory>
+
+#include "core/sync.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+class HangWorkload : public Workload
+{
+  public:
+    explicit HangWorkload(const WorkloadParams &p) : Workload(p) {}
+
+    std::string name() const override { return "hang"; }
+    std::string variant() const override { return "hang"; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        scratch = ArrayRef<std::uint32_t>::alloc(sys.mem(), 64);
+        // One short: with every core's kernel parked on it, the
+        // barrier never opens.
+        never = std::make_unique<Barrier>(sys.cores() + 1);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        if (ctx.tid() == 0) {
+            for (std::uint64_t i = 0;; ++i) {
+                co_await ctx.compute(Cycles(1000));
+                if (prm.scale > 1) {
+                    co_await ctx.store<std::uint32_t>(
+                        scratch.at(i % scratch.count),
+                        std::uint32_t(i));
+                }
+            }
+        }
+        co_await ctx.barrier(*never);
+    }
+
+    bool verify(CmpSystem &) override { return false; }
+
+  private:
+    ArrayRef<std::uint32_t> scratch;
+    std::unique_ptr<Barrier> never;
+};
+
+} // namespace
+} // namespace cmpmem
+
+namespace cmpmem
+{
+
+std::unique_ptr<Workload>
+makeHang(const WorkloadParams &p)
+{
+    return std::make_unique<HangWorkload>(p);
+}
+
+} // namespace cmpmem

@@ -3,7 +3,7 @@
 #include <functional>
 #include <utility>
 
-#include "sim/log.hh"
+#include "sim/sim_error.hh"
 #include "workloads/factories.hh"
 
 namespace cmpmem
@@ -42,6 +42,7 @@ constexpr Entry entries[] = {
  */
 constexpr Entry hiddenEntries[] = {
     {"stress", &makeStress},
+    {"hang", &makeHang},
 };
 
 } // namespace
@@ -66,7 +67,8 @@ createWorkload(const std::string &name, const WorkloadParams &params)
         if (name == e.name)
             return e.factory(params);
     }
-    fatal("unknown workload '%s'", name.c_str());
+    throwSimError(SimErrorKind::Config, "unknown workload '%s'",
+                  name.c_str());
 }
 
 } // namespace cmpmem

@@ -98,12 +98,28 @@ TEST(Registry, AllElevenWorkloadsRegistered)
 
 TEST(Config, ValidateRejectsNonsense)
 {
+    // Config mistakes are recoverable (SimErrorKind::Config), not
+    // process-fatal: a sweep must survive one bad point.
     SystemConfig cfg = makeConfig(16, MemModel::STR);
     cfg.hwPrefetch = true;
-    EXPECT_DEATH({ cfg.validate(); }, "prefetching");
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted STR + hwPrefetch";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("prefetching"),
+                  std::string::npos);
+    }
 
     SystemConfig cfg2 = makeConfig(0, MemModel::CC);
-    EXPECT_DEATH({ cfg2.validate(); }, "core count");
+    try {
+        cfg2.validate();
+        FAIL() << "validate() accepted 0 cores";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("core count"),
+                  std::string::npos);
+    }
 }
 
 } // namespace
