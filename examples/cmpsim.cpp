@@ -144,14 +144,19 @@ main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
     int rc = 0;
-    if (o.workload == "all") {
-        bool first = true;
-        for (const auto &n : workloadNames()) {
-            rc |= runOne(o, n, first);
-            first = false;
+    try {
+        if (o.workload == "all") {
+            bool first = true;
+            for (const auto &n : workloadNames()) {
+                rc |= runOne(o, n, first);
+                first = false;
+            }
+        } else {
+            rc = runOne(o, o.workload, true);
         }
-    } else {
-        rc = runOne(o, o.workload, true);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "cmpsim: %s\n", e.what());
+        return 1;
     }
     return rc;
 }

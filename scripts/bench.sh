@@ -31,6 +31,7 @@ benches=(
     ablation_interconnect
     ablation_dram
     ablation_hybrid
+    micro_events
     microbench
 )
 

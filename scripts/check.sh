@@ -3,12 +3,14 @@
 # Verification driver.
 #
 # Default (quick) mode: build the Release configuration and run every
-# test except those labelled "long" — a sub-minute signal suitable
-# for the inner edit loop.
+# test except those labelled "long" or "perf" — a sub-minute signal
+# suitable for the inner edit loop.
 #
 # --full: the pre-ship sweep. Runs the complete suite (including the
-# long label) in the plain Release configuration, then builds and
-# runs everything again under AddressSanitizer + UBSan
+# long label) in the plain Release configuration, follows with the
+# host-performance pass (label "perf": the micro_events event-engine
+# bench, run serially and only in the unsanitized tree), then builds
+# and runs everything again under AddressSanitizer + UBSan
 # (CMPMEM_SANITIZE=ON), and finishes with a widened fault-injection
 # stress pass (CMPMEM_FAULT_SCALE=2) in the sanitizer tree — the
 # recovery paths (ECC re-reads, NACK/DMA retries, watchdog kills)
@@ -49,14 +51,18 @@ run_config() {
 }
 
 if [[ "${full}" -eq 1 ]]; then
-    run_config build "" -DCMAKE_BUILD_TYPE=Release
-    run_config build-sanitize "" -DCMAKE_BUILD_TYPE=Release \
+    run_config build "-LE perf" -DCMAKE_BUILD_TYPE=Release
+    echo "==> host-performance pass (Release, label perf)"
+    # Serial, in the plain Release tree only: events/sec from a
+    # sanitized or contended run would be meaningless.
+    ctest --test-dir build --output-on-failure -L perf
+    run_config build-sanitize "-LE perf" -DCMAKE_BUILD_TYPE=Release \
         -DCMPMEM_SANITIZE=ON
     echo "==> fault-injection stress pass (sanitized, scale 2)"
     CMPMEM_FAULT_SCALE=2 ctest --test-dir build-sanitize \
         --output-on-failure -j "${jobs}" -R test_faults_stress
     echo "==> all configurations green"
 else
-    run_config build "-LE long" -DCMAKE_BUILD_TYPE=Release
+    run_config build "-LE long|perf" -DCMAKE_BUILD_TYPE=Release
     echo "==> quick suite green (use --full before shipping)"
 fi

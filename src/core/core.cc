@@ -154,24 +154,8 @@ Core::waitCallback()
 }
 
 void
-Core::armQuantumFlush()
+Core::scheduleResume(Tick at)
 {
-    // No stall: the local clock already accounts for the elapsed
-    // time; this merely hands control back to the event loop.
-    Tick at = std::max(curTick, eq.now());
-    eq.schedule(at, [this, at] {
-        curTick = std::max(curTick, at);
-        auto h = std::exchange(suspendedAt, nullptr);
-        assert(h);
-        h.resume();
-        checkDone();
-    });
-}
-
-void
-Core::resumeKernel(Tick when)
-{
-    Tick at = std::max(when, eq.now());
     eq.schedule(at, [this, at] {
         curTick = std::max(curTick, at);
         auto h = std::exchange(suspendedAt, nullptr);
@@ -179,6 +163,20 @@ Core::resumeKernel(Tick when)
         h.resume();
         checkDone();
     });
+}
+
+void
+Core::armQuantumFlush()
+{
+    // No stall: the local clock already accounts for the elapsed
+    // time; this merely hands control back to the event loop.
+    scheduleResume(std::max(curTick, eq.now()));
+}
+
+void
+Core::resumeKernel(Tick when)
+{
+    scheduleResume(std::max(when, eq.now()));
 }
 
 } // namespace cmpmem

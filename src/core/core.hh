@@ -162,6 +162,14 @@ class Core
 
   private:
     void resumeKernel(Tick when);
+
+    /**
+     * The one kernel-resume event: advance the local clock to @p at,
+     * resume the parked coroutine, and reap it if it finished. Both
+     * quantum flushes and wait completions schedule through here.
+     */
+    void scheduleResume(Tick at);
+
     void launch();
     void checkDone();
 

@@ -22,6 +22,19 @@ struct RunResult
     EnergyBreakdown energy;
     bool verified = false;
     double hostSeconds = 0; ///< host CPU cost of this simulation
+
+    /**
+     * Simulator host throughput: events dispatched per host CPU
+     * second. Nondeterministic (depends on the machine and its
+     * load), so it is reported alongside host_seconds rather than in
+     * the deterministic stats block.
+     */
+    double
+    eventsPerSec() const
+    {
+        return hostSeconds > 0 ? double(stats.eventsExecuted) / hostSeconds
+                               : 0;
+    }
 };
 
 /**

@@ -404,6 +404,8 @@ SweepResult::toJson() const
         out += "      \"verified\": " + jbool(jr.run.verified) + ",\n";
         out += "      \"host_seconds\": " + jnum(jr.run.hostSeconds) +
                ",\n";
+        out += "      \"events_per_sec\": " + jnum(jr.run.eventsPerSec()) +
+               ",\n";
         out += "      \"stats\": " + jr.run.stats.toStatSet().toJson() +
                ",\n";
         out += "      \"energy\": " + energyJson(jr.run.energy);

@@ -483,10 +483,23 @@ L1Controller::startFill(Tick t, Addr line, bool exclusive, AccessKind kind)
         state = MesiState::Exclusive;
     }
 
-    eq.schedule(result.done, [this, line, state, prefetched,
-                              done = result.done] {
-        install(done, line, state, prefetched);
+    scheduleLineDone(result.done, line, state, prefetched,
+                     CoherenceChecker::Cause::Fill,
+                     /*completeStoreBuffer=*/false);
+}
+
+void
+L1Controller::scheduleLineDone(Tick done, Addr line, MesiState state,
+                               bool prefetched,
+                               CoherenceChecker::Cause cause,
+                               bool completeStoreBuffer)
+{
+    eq.schedule(done, [this, done, line, state, prefetched, cause,
+                       completeStoreBuffer] {
+        install(done, line, state, prefetched, cause);
         mshr.complete(line, done);
+        if (completeStoreBuffer)
+            sb.complete(line, done);
     });
 }
 
@@ -590,22 +603,12 @@ L1Controller::ensureOwnership(Tick t, Addr line)
         // Shared here: upgrade (invalidation-only broadcast).
         mshr.allocate(line, true);
         Tick done = fabric.upgradeLine(t, id, line);
-        eq.schedule(done, [this, line, done] {
-            if (CacheArray::Line *cur = array.lookup(line)) {
-                note(checker, done, id, line, cur->state,
-                     MesiState::Modified,
-                     CoherenceChecker::Cause::Upgrade);
-                cur->state = MesiState::Modified;
-            // The frame may have been evicted while the upgrade was
-            // in flight; ownership is still ours, so re-install.
-            } else {
-                install(done, line, MesiState::Modified, false,
-                        CoherenceChecker::Cause::Upgrade);
-            }
-            Tick when = done;
-            mshr.complete(line, when);
-            sb.complete(line, when);
-        });
+        // install() covers both landings: frame still present (note
+        // the S->M flip) or evicted mid-upgrade (re-install as M —
+        // ownership is still ours).
+        scheduleLineDone(done, line, MesiState::Modified, false,
+                         CoherenceChecker::Cause::Upgrade,
+                         /*completeStoreBuffer=*/true);
         return;
     }
 
@@ -613,11 +616,9 @@ L1Controller::ensureOwnership(Tick t, Addr line)
     // fetch, completing the buffered store at fill time.
     mshr.allocate(line, true);
     auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
-    eq.schedule(result.done, [this, line, done = result.done] {
-        install(done, line, MesiState::Modified, false);
-        mshr.complete(line, done);
-        sb.complete(line, done);
-    });
+    scheduleLineDone(result.done, line, MesiState::Modified, false,
+                     CoherenceChecker::Cause::Fill,
+                     /*completeStoreBuffer=*/true);
 }
 
 void
@@ -627,12 +628,9 @@ L1Controller::startPfsAllocate(Tick t, Addr line)
     mshr.allocate(line, true);
     ++stats.pfsStores;
     Tick done = cfg.coherent ? fabric.upgradeLine(t, id, line) : t;
-    eq.schedule(std::max(done, t), [this, line, done] {
-        install(done, line, MesiState::Modified, false,
-                CoherenceChecker::Cause::PfsAllocate);
-        mshr.complete(line, done);
-        sb.complete(line, done);
-    });
+    scheduleLineDone(std::max(done, t), line, MesiState::Modified, false,
+                     CoherenceChecker::Cause::PfsAllocate,
+                     /*completeStoreBuffer=*/true);
 }
 
 bool
@@ -693,11 +691,9 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
     } else {
         mshr.allocate(line, true);
         auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
-        eq.schedule(result.done, [this, line, done = result.done] {
-            install(done, line, MesiState::Modified, false);
-            mshr.complete(line, done);
-            sb.complete(line, done);
-        });
+        scheduleLineDone(result.done, line, MesiState::Modified, false,
+                         CoherenceChecker::Cause::Fill,
+                         /*completeStoreBuffer=*/true);
         issuePrefetches(t, line);
     }
     return true;
@@ -721,18 +717,9 @@ L1Controller::atomicFinish(Tick t, Addr line, Callback cb)
         }
         mshr.allocate(line, true);
         Tick done = fabric.upgradeLine(t, id, line);
-        eq.schedule(done, [this, line, done] {
-            if (CacheArray::Line *c2 = array.lookup(line)) {
-                note(checker, done, id, line, c2->state,
-                     MesiState::Modified,
-                     CoherenceChecker::Cause::Upgrade);
-                c2->state = MesiState::Modified;
-            } else {
-                install(done, line, MesiState::Modified, false,
-                        CoherenceChecker::Cause::Upgrade);
-            }
-            mshr.complete(line, done);
-        });
+        scheduleLineDone(done, line, MesiState::Modified, false,
+                         CoherenceChecker::Cause::Upgrade,
+                         /*completeStoreBuffer=*/false);
         mshr.addWaiter(line, [this, line,
                               cb = std::move(cb)](Tick ft) mutable {
             atomicFinish(ft, line, std::move(cb));
@@ -790,28 +777,18 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
         // Shared: upgrade.
         mshr.allocate(line, true);
         Tick done = fabric.upgradeLine(t, id, line);
-        eq.schedule(done, [this, line, done] {
-            if (CacheArray::Line *cur = array.lookup(line)) {
-                note(checker, done, id, line, cur->state,
-                     MesiState::Modified,
-                     CoherenceChecker::Cause::Upgrade);
-                cur->state = MesiState::Modified;
-            } else {
-                install(done, line, MesiState::Modified, false,
-                        CoherenceChecker::Cause::Upgrade);
-            }
-            mshr.complete(line, done);
-        });
+        scheduleLineDone(done, line, MesiState::Modified, false,
+                         CoherenceChecker::Cause::Upgrade,
+                         /*completeStoreBuffer=*/false);
         mshr.addWaiter(line, std::move(finish));
         return;
     }
 
     mshr.allocate(line, true);
     auto result = fabric.fetchLine(t, id, line, true, cfg.coherent);
-    eq.schedule(result.done, [this, line, done = result.done] {
-        install(done, line, MesiState::Modified, false);
-        mshr.complete(line, done);
-    });
+    scheduleLineDone(result.done, line, MesiState::Modified, false,
+                     CoherenceChecker::Cause::Fill,
+                     /*completeStoreBuffer=*/false);
     mshr.addWaiter(line, std::move(finish));
 }
 

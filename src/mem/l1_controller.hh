@@ -333,6 +333,18 @@ class L1Controller : public Diagnosable
                  CoherenceChecker::Cause cause =
                      CoherenceChecker::Cause::Fill);
 
+    /**
+     * Schedule the canonical transaction-completion event at
+     * @p done: install() the line (which also covers the
+     * upgrade-landed-while-present case), release the MSHR entry,
+     * and optionally drain the store buffer for the line. Every
+     * fill/upgrade/PFS completion funnels through here so the
+     * capture stays within the inline-callback bound.
+     */
+    void scheduleLineDone(Tick done, Addr line, MesiState state,
+                          bool prefetched, CoherenceChecker::Cause cause,
+                          bool completeStoreBuffer);
+
     /** Issue/chain an ownership upgrade for a buffered store. */
     void ensureOwnership(Tick t, Addr line);
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A small-buffer-only, move-only callable: std::function without the
+ * heap.
+ *
+ * The event engine runs one of these per simulated event, so the
+ * per-event cost of the old EventQueue::Callback — a heap allocation
+ * for any capture beyond two words plus type-erased dispatch through
+ * a potentially cold callee — was pure scheduler overhead. This type
+ * keeps the capture inline in the event node itself: construction is
+ * a placement-new into caller-provided storage, a move is a relocate
+ * (move-construct + destroy source), and there is deliberately *no*
+ * heap fallback. A callable larger than the capacity is a
+ * compile-time error, which turns "shrink that capture" into a build
+ * failure at the offending schedule() site instead of a silent
+ * performance regression.
+ */
+
+#ifndef CMPMEM_SIM_INLINE_FUNCTION_HH
+#define CMPMEM_SIM_INLINE_FUNCTION_HH
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cmpmem
+{
+
+template <typename Sig, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f) // NOLINT: implicit like std::function
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        assert(ops && "invoking an empty InlineFunction");
+        return ops->invoke(buf, std::forward<Args>(args)...);
+    }
+
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    /**
+     * Construct a callable in place (no intermediate InlineFunction,
+     * so the capture is moved exactly once, by inlined code — the
+     * scheduler's hot path).
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable signature mismatch");
+        static_assert(sizeof(Fn) <= Capacity,
+                      "capture too large for the inline callback "
+                      "buffer -- shrink the lambda's captures (see "
+                      "sim/inline_function.hh)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned capture");
+        reset();
+        ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+        ops = &opsFor<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args...);
+        void (*relocate)(void *dst, void *src); ///< move + destroy src
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops opsFor{
+        [](void *p, Args... args) -> R {
+            return (*static_cast<Fn *>(p))(std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            Fn *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops = other.ops;
+        if (ops) {
+            ops->relocate(buf, other.buf);
+            other.ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[Capacity];
+    const Ops *ops = nullptr;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_INLINE_FUNCTION_HH

@@ -8,6 +8,10 @@
  * coroutine suspends only when the simulated core actually blocks
  * (miss, full store buffer, barrier, DMA wait, or a time-quantum
  * flush), which keeps the hot hit path free of event-queue traffic.
+ * Each resumption is a pooled inline-callback event (the Core
+ * schedules Core::scheduleResume capturing only {this, tick}, well
+ * inside the EventQueue::kCallbackBytes bound), so suspending and
+ * resuming a kernel never allocates.
  */
 
 #ifndef CMPMEM_SIM_TASK_HH
@@ -15,8 +19,6 @@
 
 #include <cassert>
 #include <coroutine>
-#include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <utility>
 

@@ -236,6 +236,10 @@ CmpSystem::collectStats() const
     if (faultInj)
         rs.faults = faultInj->stats();
 
+    rs.eventsExecuted = eq.executed();
+    rs.peakPendingEvents = eq.peakPending();
+    rs.calendarOverflows = eq.calendarOverflows();
+
     return rs;
 }
 
@@ -334,6 +338,9 @@ RunStats::toStatSet() const
     s.set("faults.net_retries", double(faults.netRetries));
     s.set("faults.dma_faults", double(faults.dmaFaults));
     s.set("faults.dma_retries", double(faults.dmaRetries));
+    s.set("sim.events_executed", double(eventsExecuted));
+    s.set("sim.peak_pending_events", double(peakPendingEvents));
+    s.set("sim.calendar_overflows", double(calendarOverflows));
     return s;
 }
 

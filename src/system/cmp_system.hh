@@ -71,6 +71,17 @@ struct RunStats
     /** Fault-injection outcomes (all zero when faults are disabled). */
     FaultStats faults;
 
+    /**
+     * Host-throughput telemetry from the event engine. All three are
+     * pure functions of the deterministic event stream (no host
+     * timing), so they compare bit-identically across runs; the
+     * nondeterministic events/sec figure lives next to host_seconds
+     * in the bench JSON instead.
+     */
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t peakPendingEvents = 0;
+    std::uint64_t calendarOverflows = 0;
+
     double execSeconds() const
     {
         return double(execTicks) / double(ticksPerSec);

@@ -124,6 +124,63 @@ TEST(StressDeterminism, SameSeedSameStats)
     }
 }
 
+/**
+ * Golden regression pinning the stress workload's RunStats to the
+ * exact values produced before the calendar-queue event engine
+ * landed (recorded from the std::priority_queue implementation at
+ * scale 0, seed 42, 4 cores, checker on). Any event-ordering drift
+ * in a future engine change shows up here as a bit-level diff, not
+ * as a vague "numbers moved".
+ */
+TEST(StressDeterminism, GoldenStatsMatchRecordedBaseline)
+{
+    struct Golden
+    {
+        MemModel model;
+        Tick execTicks;
+        std::uint64_t instructions, l1DemandMisses;
+        std::uint64_t dramReadBytes, dramWriteBytes;
+        std::uint64_t checkerEvents, busBytes, xbarBytes;
+        std::uint64_t l2Hits, l2Misses;
+        double energyMj;
+    };
+    constexpr Golden kGolden[] = {
+        {MemModel::CC, 2147850, 516, 182, 3776, 2464, 1532, 11352,
+         8488, 103, 118, 0.00086780220000000005},
+        {MemModel::STR, 2062350, 516, 133, 3776, 2400, 1223, 9352,
+         9352, 157, 118, 0.00085317720000000006},
+    };
+
+    WorkloadParams p;
+    p.scale = 0;
+    p.seed = 42;
+    for (const Golden &g : kGolden) {
+        SystemConfig cfg = makeConfig(4, g.model);
+        cfg.checkCoherence = true;
+        RunResult r = runWorkload("stress", cfg, p);
+        ASSERT_TRUE(r.verified) << to_string(g.model);
+        EXPECT_EQ(r.stats.execTicks, g.execTicks) << to_string(g.model);
+        EXPECT_EQ(r.stats.coreTotal.instructions(), g.instructions);
+        EXPECT_EQ(r.stats.l1Total.demandMisses(), g.l1DemandMisses);
+        EXPECT_EQ(r.stats.dramReadBytes, g.dramReadBytes);
+        EXPECT_EQ(r.stats.dramWriteBytes, g.dramWriteBytes);
+        EXPECT_EQ(r.stats.checkerEvents, g.checkerEvents);
+        EXPECT_EQ(r.stats.checkerViolations, 0u);
+        EXPECT_EQ(r.stats.busBytes, g.busBytes);
+        EXPECT_EQ(r.stats.xbarBytes, g.xbarBytes);
+        EXPECT_EQ(r.stats.l2Hits, g.l2Hits);
+        EXPECT_EQ(r.stats.l2Misses, g.l2Misses);
+        EXPECT_DOUBLE_EQ(r.energy.totalMj(), g.energyMj);
+        // The telemetry itself must also be deterministic.
+        EXPECT_GT(r.stats.eventsExecuted, 0u);
+        EXPECT_GT(r.stats.peakPendingEvents, 0u);
+        RunResult r2 = runWorkload("stress", cfg, p);
+        EXPECT_EQ(r.stats.eventsExecuted, r2.stats.eventsExecuted);
+        EXPECT_EQ(r.stats.peakPendingEvents, r2.stats.peakPendingEvents);
+        EXPECT_EQ(r.stats.calendarOverflows, r2.stats.calendarOverflows);
+    }
+}
+
 TEST(StressDeterminism, DifferentSeedDifferentStream)
 {
     WorkloadParams a, b;

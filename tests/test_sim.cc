@@ -7,11 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/rng.hh"
+#include "sim/sim_error.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
 
@@ -69,6 +74,268 @@ TEST(EventQueue, RunUntilLeavesLaterEvents)
     EXPECT_EQ(eq.pending(), 1u);
     eq.run();
     EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SameTickFifoAcrossScheduleDuringDispatch)
+{
+    // Events queued before tick T is reached and events scheduled
+    // *at* T from a dispatching callback share one FIFO order: the
+    // pre-queued ones (lower sequence numbers) fire first.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] {
+        order.push_back(0);
+        eq.schedule(100, [&] { order.push_back(2); });
+        eq.schedule(100, [&] {
+            order.push_back(3);
+            eq.schedule(100, [&] { order.push_back(4); });
+        });
+    });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, SchedulingInThePastThrowsModelError)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 50u);
+    try {
+        eq.schedule(49, [] {});
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Model);
+    }
+    // The queue survives the rejected event and keeps running.
+    int fired = 0;
+    eq.schedule(60, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, FreeListReusesNodesUnderChurn)
+{
+    // A long self-rescheduling chain keeps at most a handful of
+    // events pending, so the pool must not grow with total events:
+    // every dispatched node goes back on the free list.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    struct Chain
+    {
+        EventQueue *eq;
+        std::uint64_t *fired;
+        std::uint64_t left;
+
+        void
+        arm(Tick when)
+        {
+            eq->schedule(when, [this, when] {
+                ++*fired;
+                if (--left)
+                    arm(when + 501);
+            });
+        }
+    };
+    Chain chains[4];
+    for (int i = 0; i < 4; ++i) {
+        chains[i] = {&eq, &fired, 50000};
+        chains[i].arm(Tick(i));
+    }
+    eq.run();
+    EXPECT_EQ(fired, 200000u);
+    EXPECT_EQ(eq.executed(), 200000u);
+    // One pool chunk covers 4 concurrent chains many times over.
+    EXPECT_LE(eq.nodesAllocated(), 256u);
+    EXPECT_EQ(eq.peakPending(), 4u);
+}
+
+TEST(EventQueue, FarFutureEventsOverflowAndStillFireInOrder)
+{
+    // Horizons beyond the calendar ring go to the overflow heap and
+    // migrate back as the window advances; order must be untouched.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const Tick horizon = 1024 * 256; // the ring covers [now, now+this)
+    eq.schedule(horizon * 3, [&] { fired.push_back(eq.now()); });
+    eq.schedule(horizon + 1, [&] { fired.push_back(eq.now()); });
+    eq.schedule(10, [&] { fired.push_back(eq.now()); });
+    eq.schedule(horizon * 2, [&] { fired.push_back(eq.now()); });
+    EXPECT_EQ(eq.calendarOverflows(), 3u);
+    eq.run();
+    ASSERT_EQ(fired.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.back(), horizon * 3);
+}
+
+TEST(EventQueue, PeakPendingTracksHighWaterMark)
+{
+    EventQueue eq;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t * 1000, [] {});
+    EXPECT_EQ(eq.pending(), 10u);
+    EXPECT_EQ(eq.peakPending(), 10u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.peakPending(), 10u); // high-water mark sticks
+}
+
+TEST(EventQueue, PendingEventTicksReturnsFiringPrefix)
+{
+    EventQueue eq;
+    const Tick horizon = 1024 * 256;
+    // Spread across now-FIFO range, ring buckets, and overflow.
+    std::vector<Tick> when = {5,      3,          900,     40000,
+                              70000,  horizon * 2, 12,     260000,
+                              130000, horizon * 5, 770,    41000};
+    for (Tick t : when)
+        eq.schedule(t, [] {});
+    std::vector<Tick> expect = when;
+    std::sort(expect.begin(), expect.end());
+
+    std::vector<Tick> all = eq.pendingEventTicks(64);
+    EXPECT_EQ(all, expect);
+
+    std::vector<Tick> first4 = eq.pendingEventTicks(4);
+    EXPECT_EQ(first4,
+              std::vector<Tick>(expect.begin(), expect.begin() + 4));
+}
+
+TEST(EventQueue, RandomizedOrderMatchesReferenceModel)
+{
+    // Drive the calendar queue with an adversarial mix of horizons
+    // (same-tick, in-bucket, cross-bucket, beyond-window) scheduled
+    // both up front and from dispatching callbacks, and check the
+    // observed order against the (when, seq) sort of a reference log.
+    EventQueue eq;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+
+    struct Ref
+    {
+        Tick when;
+        std::uint64_t seq;
+    };
+    std::vector<Ref> ref;
+    std::vector<std::uint64_t> observed;
+    std::uint64_t seq = 0;
+    std::uint64_t budget = 20000;
+
+    // Returns a horizon hitting every container class.
+    auto horizonFor = [&next](std::uint64_t roll) -> Tick {
+        switch (roll % 4) {
+          case 0: return 0;                       // same tick
+          case 1: return 1 + next() % 200;        // active bucket-ish
+          case 2: return 1 + next() % 200000;     // ring buckets
+          default: return 250000 + next() % 600000; // overflow
+        }
+    };
+
+    struct Spawner
+    {
+        EventQueue *eq;
+        std::vector<Ref> *ref;
+        std::vector<std::uint64_t> *observed;
+        std::uint64_t *seq;
+        std::uint64_t *budget;
+        std::function<Tick(std::uint64_t)> horizon;
+        std::function<std::uint64_t()> roll;
+
+        void
+        spawn(Tick when)
+        {
+            std::uint64_t id = (*seq)++;
+            ref->push_back({when, id});
+            eq->schedule(when, [this, id] {
+                observed->push_back(id);
+                if (*budget == 0)
+                    return;
+                // Fan out 0..2 children from inside dispatch.
+                std::uint64_t kids = roll() % 3;
+                for (std::uint64_t k = 0; k < kids && *budget; ++k) {
+                    --*budget;
+                    spawn(eq->now() + horizon(roll()));
+                }
+            });
+        }
+    };
+    Spawner sp{&eq,  &ref, &observed, &seq, &budget,
+               horizonFor, next};
+    for (int i = 0; i < 64; ++i) {
+        --budget;
+        sp.spawn(horizonFor(next()));
+    }
+    eq.run();
+
+    ASSERT_EQ(observed.size(), ref.size());
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Ref &a, const Ref &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.seq < b.seq;
+                     });
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(observed[i], ref[i].seq) << "at position " << i;
+}
+
+//
+// InlineFunction (the event callback type).
+//
+
+TEST(InlineFunction, InvokesAndMoves)
+{
+    int hits = 0;
+    InlineFunction<void()> f([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(hits, 1);
+
+    InlineFunction<void()> g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f)); // moved-from is empty
+    g();
+    EXPECT_EQ(hits, 2);
+
+    InlineFunction<void()> h;
+    EXPECT_FALSE(static_cast<bool>(h));
+    h = std::move(g);
+    h();
+    EXPECT_EQ(hits, 3);
+    h.reset();
+    EXPECT_FALSE(static_cast<bool>(h));
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce)
+{
+    struct Probe
+    {
+        int *ctor, *dtor;
+        Probe(int *c, int *d) : ctor(c), dtor(d) { ++*ctor; }
+        Probe(Probe &&o) noexcept : ctor(o.ctor), dtor(o.dtor)
+        {
+            ++*ctor;
+        }
+        ~Probe() { ++*dtor; }
+        void operator()() const {}
+    };
+    int ctor = 0, dtor = 0;
+    {
+        InlineFunction<void()> f(Probe(&ctor, &dtor));
+        InlineFunction<void()> g(std::move(f)); // relocate
+        g();
+    }
+    EXPECT_GE(ctor, 2);     // original + at least one relocate
+    EXPECT_EQ(ctor, dtor);  // every construction destroyed exactly once
+}
+
+TEST(InlineFunction, ArgumentsAndReturnValues)
+{
+    InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(2, 3), 5);
 }
 
 TEST(Clock, PeriodsMatchTable2Frequencies)
