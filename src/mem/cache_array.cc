@@ -14,22 +14,34 @@ isPow2(std::uint32_t x)
 {
     return x != 0 && (x & (x - 1)) == 0;
 }
+
+std::uint32_t
+log2Exact(std::uint32_t x)
+{
+    std::uint32_t shift = 0;
+    while ((std::uint32_t(1) << shift) < x)
+        ++shift;
+    return shift;
+}
 } // namespace
 
 CacheArray::CacheArray(const CacheGeometry &g) : geom(g)
 {
-    if (!isPow2(geom.lineBytes) || !isPow2(geom.sets()))
+    // Each field must be a power of two individually: pow2 sets can
+    // emerge from a non-pow2 size/assoc pair only via the silently
+    // truncating division in sets(), which would index a different
+    // cache than the one configured.
+    if (!isPow2(geom.sizeBytes) || !isPow2(geom.assoc) ||
+        !isPow2(geom.lineBytes) ||
+        geom.sizeBytes < geom.assoc * geom.lineBytes)
         throwSimError(SimErrorKind::Config,
-                      "cache geometry must have power-of-two sets and "
-                      "line size (size=%u assoc=%u line=%u)",
+                      "cache geometry must have power-of-two size, "
+                      "associativity, and line size, with at least one "
+                      "set (size=%u assoc=%u line=%u)",
                       geom.sizeBytes, geom.assoc, geom.lineBytes);
+    lineShift = log2Exact(geom.lineBytes);
+    setMask = geom.sets() - 1;
     lines.resize(std::size_t(geom.sets()) * geom.assoc);
-}
-
-std::uint32_t
-CacheArray::setIndex(Addr addr) const
-{
-    return (addr / geom.lineBytes) & (geom.sets() - 1);
 }
 
 CacheArray::Line *

@@ -40,7 +40,13 @@ to_string(MesiState s)
     return "?";
 }
 
-/** Geometry and identity of a cache array. */
+/**
+ * Geometry and identity of a cache array.
+ *
+ * Every field must be a power of two (CacheArray's constructor
+ * raises SimErrorKind::Config otherwise), so sets() is exact and
+ * set selection reduces to a shift and a mask.
+ */
 struct CacheGeometry
 {
     std::uint32_t sizeBytes = 32 * 1024;
@@ -142,9 +148,15 @@ class CacheArray
     }
 
   private:
-    std::uint32_t setIndex(Addr addr) const;
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return std::uint32_t(addr >> lineShift) & setMask;
+    }
 
     CacheGeometry geom;
+    std::uint32_t lineShift = 0; ///< log2(lineBytes)
+    std::uint32_t setMask = 0;   ///< sets - 1
     std::vector<Line> lines; ///< sets * assoc, set-major
     std::uint64_t lruClock = 0;
 };

@@ -25,6 +25,7 @@
 #include "mem/resource.hh"
 #include "mem/store_buffer.hh"
 #include "sim/event_queue.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -132,6 +133,54 @@ TEST(CacheArray, ForEachDirtyCleansLines)
     EXPECT_EQ(n, 2u);
     EXPECT_EQ(seen, 2);
     EXPECT_EQ(c.forEachDirty([&](Addr) {}), 0u); // now clean
+}
+
+TEST(CacheArray, RejectsNonPowerOfTwoGeometry)
+{
+    // Set indexing is a shift+mask, so every geometry field must be
+    // a power of two; anything else used to truncate silently in
+    // sets() and now raises SimErrorKind::Config.
+    const CacheGeometry bad[] = {
+        {48 * 1024, 2, 32}, // non-pow2 size
+        {32 * 1024, 3, 32}, // non-pow2 assoc
+        {32 * 1024, 2, 48}, // non-pow2 line
+        {32, 2, 32},        // fewer than one set
+        {0, 2, 32},         // zero size
+    };
+    for (const auto &g : bad) {
+        try {
+            CacheArray c(g);
+            FAIL() << "geometry " << g.sizeBytes << "/" << g.assoc
+                   << "/" << g.lineBytes << " accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        }
+    }
+    // The boundary case (exactly one set) is legal.
+    CacheArray one({64, 2, 32});
+    EXPECT_EQ(one.geometry().sets(), 1u);
+}
+
+TEST(CacheArray, SetIndexMatchesDivideModulo)
+{
+    // The shift/mask path must agree with the arithmetic definition
+    // (addr / lineBytes) % sets for addresses well past 2^32.
+    CacheGeometry geom{16 * 1024, 4, 64};
+    CacheArray c(geom);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = (Addr(rng.nextBelow(1u << 30)) << 8) ^
+                    rng.nextBelow(1u << 20);
+        Addr line = addr & ~Addr(geom.lineBytes - 1);
+        CacheArray::Victim v;
+        if (!c.lookup(addr))
+            c.allocate(addr, v).state = MesiState::Exclusive;
+        // A hit through lookup() proves the probe indexed the same
+        // set the reference set-index function selects.
+        auto *hit = c.lookup(line + geom.lineBytes - 1);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(hit->tag, line);
+    }
 }
 
 /**
