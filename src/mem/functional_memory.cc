@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "sim/log.hh"
-
 namespace cmpmem
 {
 
@@ -12,25 +10,45 @@ std::uint8_t *
 FunctionalMemory::pageFor(Addr addr)
 {
     Addr base = addr & ~(pageBytes - 1);
+    if (base >= allocBase && base - allocBase < region.size())
+        return region.data() + (base - allocBase);
+
+    TransEntry &ent = trans[(base >> pageShift) & (transSlots - 1)];
+    if (ent.base == base)
+        return ent.ptr;
+
     auto it = pages.find(base);
     if (it == pages.end()) {
         auto page = std::make_unique<std::uint8_t[]>(pageBytes);
         std::memset(page.get(), 0, pageBytes);
         it = pages.emplace(base, std::move(page)).first;
     }
-    return it->second.get();
+    ent.base = base;
+    ent.ptr = it->second.get();
+    return ent.ptr;
 }
 
 const std::uint8_t *
 FunctionalMemory::pageForRead(Addr addr) const
 {
     Addr base = addr & ~(pageBytes - 1);
+    if (base >= allocBase && base - allocBase < region.size())
+        return region.data() + (base - allocBase);
+
+    TransEntry &ent = trans[(base >> pageShift) & (transSlots - 1)];
+    if (ent.base == base)
+        return ent.ptr;
+
     auto it = pages.find(base);
-    return it == pages.end() ? nullptr : it->second.get();
+    if (it == pages.end())
+        return nullptr; // do not cache misses: the page may appear later
+    ent.base = base;
+    ent.ptr = it->second.get();
+    return ent.ptr;
 }
 
 void
-FunctionalMemory::read(Addr addr, void *dst, std::size_t size) const
+FunctionalMemory::readSlow(Addr addr, void *dst, std::size_t size) const
 {
     auto *out = static_cast<std::uint8_t *>(dst);
     while (size > 0) {
@@ -49,7 +67,7 @@ FunctionalMemory::read(Addr addr, void *dst, std::size_t size) const
 }
 
 void
-FunctionalMemory::write(Addr addr, const void *src, std::size_t size)
+FunctionalMemory::writeSlow(Addr addr, const void *src, std::size_t size)
 {
     auto *in = static_cast<const std::uint8_t *>(src);
     while (size > 0) {
@@ -70,6 +88,30 @@ FunctionalMemory::alloc(std::size_t size, std::size_t align)
            "alignment must be a power of two");
     Addr base = (brk + align - 1) & ~Addr(align - 1);
     brk = base + size;
+
+    if (brk - allocBase > region.size()) {
+        // Grow geometrically, page-granular, so repeated small allocs
+        // amortize the copy the vector resize implies.
+        std::size_t need = brk - allocBase;
+        std::size_t grown = std::max(need, 2 * region.size());
+        grown = (grown + pageBytes - 1) & ~std::size_t(pageBytes - 1);
+        region.resize(grown); // zero-fills: untouched memory reads zero
+
+        // Migrate sparse pages the region now covers, so addresses a
+        // workload wrote before this alloc keep their values.
+        Addr end = allocBase + region.size();
+        for (auto it = pages.begin(); it != pages.end();) {
+            if (it->first >= allocBase && it->first < end) {
+                std::memcpy(region.data() + (it->first - allocBase),
+                            it->second.get(), pageBytes);
+                it = pages.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // Migrated pages were freed; drop any cached translations.
+        trans.fill(TransEntry{});
+    }
     return base;
 }
 

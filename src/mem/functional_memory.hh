@@ -9,16 +9,31 @@
  * synchronize through locks/barriers/task queues), so functional
  * accesses applied in core-issue order observe the same values a
  * data-carrying cache hierarchy would.
+ *
+ * Every simulated load/store lands here, so the lookup cost is part
+ * of the host-time access fast path (DESIGN.md §13). Two layers keep
+ * the common case hash-free:
+ *
+ *  - the bump-allocated range lives in one contiguous, page-aligned
+ *    region; accesses inside it are a bounds check and a memcpy;
+ *  - accesses outside it go through a small direct-mapped
+ *    page-translation cache (last-N page pointers) in front of the
+ *    sparse page map.
+ *
+ * Neither layer is architecturally visible: values and zero-fill
+ * semantics are identical to the plain map.
  */
 
 #ifndef CMPMEM_MEM_FUNCTIONAL_MEMORY_HH
 #define CMPMEM_MEM_FUNCTIONAL_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <type_traits>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -41,8 +56,28 @@ class FunctionalMemory
     FunctionalMemory(const FunctionalMemory &) = delete;
     FunctionalMemory &operator=(const FunctionalMemory &) = delete;
 
-    void read(Addr addr, void *dst, std::size_t size) const;
-    void write(Addr addr, const void *src, std::size_t size);
+    void
+    read(Addr addr, void *dst, std::size_t size) const
+    {
+        // Fast path: wholly inside the contiguous bump region.
+        if (addr >= allocBase && addr - allocBase < region.size() &&
+            size <= region.size() - (addr - allocBase)) {
+            std::memcpy(dst, region.data() + (addr - allocBase), size);
+            return;
+        }
+        readSlow(addr, dst, size);
+    }
+
+    void
+    write(Addr addr, const void *src, std::size_t size)
+    {
+        if (addr >= allocBase && addr - allocBase < region.size() &&
+            size <= region.size() - (addr - allocBase)) {
+            std::memcpy(region.data() + (addr - allocBase), src, size);
+            return;
+        }
+        writeSlow(addr, src, size);
+    }
 
     /** Typed convenience accessors for trivially copyable values. */
     template <typename T>
@@ -69,24 +104,60 @@ class FunctionalMemory
      *
      * The first allocation starts at a non-zero base so that address
      * zero can serve as a null sentinel in workload data structures.
+     * The allocated range is backed by the contiguous region; sparse
+     * pages a workload already wrote inside the newly covered range
+     * migrate into it, so growth never changes observed values.
      */
     Addr alloc(std::size_t size, std::size_t align = 64);
 
     /** Total bytes handed out by alloc(). */
     Addr allocated() const { return brk - allocBase; }
 
-    /** Number of materialized pages (for tests / footprint checks). */
-    std::size_t pageCount() const { return pages.size(); }
+    /**
+     * Number of materialized pages, counting the contiguous region
+     * at page granularity (for tests / footprint checks).
+     */
+    std::size_t
+    pageCount() const
+    {
+        return pages.size() + region.size() / pageBytes;
+    }
 
   private:
     using Page = std::unique_ptr<std::uint8_t[]>;
+
+    /** Page-granular chunk loops for accesses outside the region. */
+    void readSlow(Addr addr, void *dst, std::size_t size) const;
+    void writeSlow(Addr addr, const void *src, std::size_t size);
 
     std::uint8_t *pageFor(Addr addr);
     const std::uint8_t *pageForRead(Addr addr) const;
 
     static constexpr Addr allocBase = 0x10000;
+    static constexpr Addr pageShift = 12;
+    static_assert(Addr(1) << pageShift == pageBytes);
+
+    /**
+     * Direct-mapped page-translation cache over the sparse map: one
+     * {page base, host pointer} pair per slot, indexed by page
+     * number. Only materialized map pages are cached (misses still
+     * hash; untouched pages read zero without materializing), and
+     * map pages are never freed while the memory lives, so positive
+     * entries stay valid until region growth migrates the page —
+     * alloc() invalidates the cache then.
+     */
+    struct TransEntry
+    {
+        Addr base = ~Addr(0); ///< page base; ~0 = empty slot
+        std::uint8_t *ptr = nullptr;
+    };
+    static constexpr std::size_t transSlots = 16;
 
     std::unordered_map<Addr, Page> pages;
+    mutable std::array<TransEntry, transSlots> trans;
+
+    /** Contiguous backing for [allocBase, allocBase+region.size()). */
+    std::vector<std::uint8_t> region;
     Addr brk = allocBase;
 };
 

@@ -75,6 +75,77 @@ TEST(FunctionalMemory, AllocatorAlignsAndAdvances)
     EXPECT_NE(a, 0u); // address zero reserved as null sentinel
 }
 
+TEST(FunctionalMemory, TypedAccessorsSpanPageBoundary)
+{
+    FunctionalMemory mem;
+    Addr boundary = 7 * FunctionalMemory::pageBytes;
+    mem.write<std::uint64_t>(boundary - 4, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read<std::uint64_t>(boundary - 4),
+              0x1122334455667788ull);
+    // The halves are visible through page-local reads too.
+    EXPECT_EQ(mem.read<std::uint32_t>(boundary - 4), 0x55667788u);
+    EXPECT_EQ(mem.read<std::uint32_t>(boundary), 0x11223344u);
+}
+
+TEST(FunctionalMemory, ReadSpanningRegionEndAndSparsePages)
+{
+    FunctionalMemory mem;
+    Addr base = mem.alloc(64, 64);
+    mem.write<std::uint32_t>(base, 0xaabbccddu);
+
+    // A read that starts inside the bump region and runs past its
+    // end must splice region bytes, sparse-page bytes, and untouched
+    // (zero) bytes together exactly like the plain map would.
+    Addr past = base + 64 * FunctionalMemory::pageBytes;
+    mem.write<std::uint32_t>(past, 0x11223344u);
+    std::vector<std::uint8_t> all(past + 4 - base);
+    mem.read(base, all.data(), all.size());
+    std::uint32_t head, tail;
+    std::memcpy(&head, all.data(), 4);
+    std::memcpy(&tail, all.data() + all.size() - 4, 4);
+    EXPECT_EQ(head, 0xaabbccddu);
+    EXPECT_EQ(tail, 0x11223344u);
+    for (std::size_t i = 4; i + 4 < all.size(); ++i)
+        ASSERT_EQ(all[i], 0u) << "at offset " << i;
+}
+
+TEST(FunctionalMemory, ValuesSurviveAllocGrowthOverSparsePages)
+{
+    FunctionalMemory mem;
+    // Write well past the current bump region so the bytes land in
+    // sparse pages, warming the translation cache on the way.
+    Addr first = mem.alloc(8, 64);
+    Addr ahead = first + 512 * FunctionalMemory::pageBytes + 12;
+    mem.write<std::uint64_t>(ahead, 0xfeedfacecafebeefull);
+    EXPECT_EQ(mem.read<std::uint64_t>(ahead), 0xfeedfacecafebeefull);
+
+    // Growing the allocator across those pages migrates them into
+    // the contiguous region; values and stale translations must not
+    // change what's observed.
+    Addr big = mem.alloc(1024 * FunctionalMemory::pageBytes, 64);
+    EXPECT_LE(big, ahead);
+    EXPECT_EQ(mem.read<std::uint64_t>(ahead), 0xfeedfacecafebeefull);
+    mem.write<std::uint64_t>(ahead, 0x0123456789abcdefull);
+    EXPECT_EQ(mem.read<std::uint64_t>(ahead), 0x0123456789abcdefull);
+    // Neighbouring untouched bytes still read zero after migration.
+    EXPECT_EQ(mem.read<std::uint64_t>(ahead + 8), 0u);
+}
+
+TEST(FunctionalMemory, TranslationCacheAliasesResolveCorrectly)
+{
+    FunctionalMemory mem;
+    // Pages whose page numbers collide in a small direct-mapped
+    // translation cache (16-page stride) must not alias.
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 8; ++i)
+        addrs.push_back(Addr(i) * 16 * FunctionalMemory::pageBytes + 8);
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        mem.write<std::uint64_t>(addrs[i], 0x1000 + i);
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            ASSERT_EQ(mem.read<std::uint64_t>(addrs[i]), 0x1000 + i);
+}
+
 //
 // CacheArray.
 //
