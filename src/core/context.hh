@@ -141,6 +141,11 @@ class Context
         ++c.statsMut().loads;
         c.applySnoopStalls();
         c.advanceIssue();
+        // Micro path: a repeat hit to the last line skips the full
+        // controller probe and the wait-callback construction. The
+        // probe itself performs the hit accounting (DESIGN.md §13).
+        if (c.dcache()->microLoad(addr))
+            return {settle().core, value};
         c.beginWait(StallCat::Load);
         bool hit = c.dcache()->load(c.now(), addr, c.waitCallback());
         if (hit)
@@ -278,6 +283,10 @@ class Context
         ++c.statsMut().stores;
         c.applySnoopStalls();
         c.advanceIssue();
+        // Micro path: a repeat store to the last line, held Modified,
+        // retires with the same accounting as the full hit path.
+        if (c.dcache()->microStore(c.now(), addr))
+            return settle();
         c.beginWait(StallCat::Store);
         bool ok = c.dcache()->store(c.now(), addr, pfs, c.waitCallback());
         if (ok)

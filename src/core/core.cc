@@ -168,6 +168,13 @@ Core::scheduleResume(Tick at)
 void
 Core::armQuantumFlush()
 {
+    // Part of the micro path's invalidation contract: while this
+    // core is parked, other cores' fabric activity may remodel its
+    // cache, so the cached line/permission must not persist across
+    // the flush. (Snoops also invalidate directly; this is the
+    // belt-and-braces half of the contract.)
+    if (dcachePtr)
+        dcachePtr->microInvalidate();
     // No stall: the local clock already accounts for the elapsed
     // time; this merely hands control back to the event loop.
     scheduleResume(std::max(curTick, eq.now()));

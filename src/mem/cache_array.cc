@@ -41,17 +41,29 @@ CacheArray::CacheArray(const CacheGeometry &g) : geom(g)
                       geom.sizeBytes, geom.assoc, geom.lineBytes);
     lineShift = log2Exact(geom.lineBytes);
     setMask = geom.sets() - 1;
+    assocShift = log2Exact(geom.assoc);
     lines.resize(std::size_t(geom.sets()) * geom.assoc);
+    mruWay.assign(geom.sets(), 0);
 }
 
 CacheArray::Line *
 CacheArray::lookup(Addr addr)
 {
     Addr la = lineAddr(addr);
-    Line *set = &lines[std::size_t(setIndex(addr)) * geom.assoc];
+    std::size_t si = setIndex(addr);
+    Line *set = &lines[si << assocShift];
+
+    // Probe the set's MRU way first: back-to-back accesses to the
+    // same set overwhelmingly hit the way last touched.
+    std::uint32_t h = mruWay[si];
+    if (set[h].valid() && set[h].tag == la)
+        return &set[h];
+
     for (std::uint32_t w = 0; w < geom.assoc; ++w) {
-        if (set[w].valid() && set[w].tag == la)
+        if (w != h && set[w].valid() && set[w].tag == la) {
+            mruWay[si] = w;
             return &set[w];
+        }
     }
     return nullptr;
 }
@@ -62,18 +74,12 @@ CacheArray::lookup(Addr addr) const
     return const_cast<CacheArray *>(this)->lookup(addr);
 }
 
-void
-CacheArray::touch(Line &line)
-{
-    line.lruStamp = ++lruClock;
-}
-
 CacheArray::Line &
 CacheArray::allocate(Addr addr, Victim &victim)
 {
     assert(lookup(addr) == nullptr && "allocating a duplicate tag");
 
-    Line *set = &lines[std::size_t(setIndex(addr)) * geom.assoc];
+    Line *set = &lines[std::size_t(setIndex(addr)) << assocShift];
     Line *pick = &set[0];
     for (std::uint32_t w = 0; w < geom.assoc; ++w) {
         if (!set[w].valid()) {

@@ -97,8 +97,18 @@ class CacheArray
     Line *lookup(Addr addr);
     const Line *lookup(Addr addr) const;
 
-    /** Mark @p line most recently used. */
-    void touch(Line &line);
+    /**
+     * Mark @p line most recently used. Also records the line's way
+     * as the set's hit hint, so the next lookup probes it first.
+     */
+    void
+    touch(Line &line)
+    {
+        line.lruStamp = ++lruClock;
+        std::size_t idx = std::size_t(&line - lines.data());
+        mruWay[idx >> assocShift] =
+            std::uint32_t(idx) & (geom.assoc - 1);
+    }
 
     /**
      * Claim a frame for @p addr, evicting the LRU line of the set if
@@ -155,9 +165,16 @@ class CacheArray
     }
 
     CacheGeometry geom;
-    std::uint32_t lineShift = 0; ///< log2(lineBytes)
-    std::uint32_t setMask = 0;   ///< sets - 1
+    std::uint32_t lineShift = 0;  ///< log2(lineBytes)
+    std::uint32_t setMask = 0;    ///< sets - 1
+    std::uint32_t assocShift = 0; ///< log2(assoc)
     std::vector<Line> lines; ///< sets * assoc, set-major
+    /**
+     * Per-set MRU-way hit hint, probed first by lookup(). Purely a
+     * host-time optimization: a stale hint only costs the probe,
+     * never a wrong result (the tag is always re-validated).
+     */
+    std::vector<std::uint32_t> mruWay;
     std::uint64_t lruClock = 0;
 };
 

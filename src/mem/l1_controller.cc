@@ -338,7 +338,11 @@ CoherenceFabric::remoteAtomic(Tick t, int cluster, Addr line)
     Tick t1 = busXfer(t, cluster, net.requestBytes);
     Tick t2 = xbarSend(t1, cluster, net.requestBytes);
     // One L2 bank pass performs the read-modify-write at the line
-    // holding the synchronization variable.
+    // holding the synchronization variable. The hit/miss outcome is
+    // intentionally unused here: readLine already folds it into the
+    // returned completion tick and into the L2's own hit/miss
+    // counters (reported as l2.hits/l2.misses), and the fabric keeps
+    // no per-outcome remote-atomic stat — remoteAtomics counts both.
     bool hit = false;
     Tick t3 = l2cache.readLine(t2, line, hit);
     (void)hit;
@@ -363,6 +367,13 @@ L1Controller::L1Controller(int core_id, const L1Config &config,
 {
     if (cfg.coherent)
         fabric.registerL1(this);
+    // Part of the micro path's invalidation contract: a draining
+    // buffered store changes its line's state, so the entry must not
+    // survive it. (Inserts already invalidate, so this is defensive.)
+    sb.setDrainHook([this](Addr line) {
+        if (line == micro.addr)
+            microInvalidate();
+    });
 }
 
 Cycles
@@ -375,6 +386,7 @@ void
 L1Controller::attachChecker(CoherenceChecker *c)
 {
     checker = c;
+    microInvalidate();
     if (!c) {
         mshr.setObserver(nullptr);
         sb.setObserver(nullptr);
@@ -405,6 +417,7 @@ L1Controller::forgeStateForTest(Addr addr, MesiState state)
         l = &array.allocate(line, victim);
     }
     l->state = state; // deliberately bypasses every checker hook
+    microInvalidate();
 }
 
 L1Controller::SnoopResult
@@ -412,6 +425,11 @@ L1Controller::snoop(Addr line, bool invalidate)
 {
     ++stats.snoopsReceived;
     snoopStallCycles += 1; // snoops occupy the cache for one cycle
+
+    // Both snoop outcomes (invalidate, downgrade) break the micro
+    // entry's premises; drop it before touching the state.
+    if (line == micro.addr)
+        microInvalidate();
 
     CacheArray::Line *l = array.lookup(line);
     if (!l)
@@ -452,6 +470,8 @@ L1Controller::install(Tick t, Addr line, MesiState state, bool prefetched,
 
     CacheArray::Victim victim;
     CacheArray::Line &l = array.allocate(line, victim);
+    if (&l == micro.line)
+        microInvalidate(); // the micro entry's frame was re-tagged
     if (victim.valid) {
         note(checker, t, id, victim.addr, victim.state,
              MesiState::Invalid, CoherenceChecker::Cause::Evict);
@@ -526,6 +546,7 @@ L1Controller::load(Tick t, Addr addr, Callback cb)
                     issuePrefetchLine(t, pf);
             }
         }
+        microAdopt(l, line);
         return true;
     }
 
@@ -657,6 +678,7 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
              CoherenceChecker::Cause::StoreHit);
         l->state = MesiState::Modified;
         array.touch(*l);
+        microAdopt(l, line);
         return true;
     }
 
@@ -676,6 +698,10 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
 
     ++stats.storeMisses;
     sb.insert(line);
+    // A buffered store to the micro entry's line changes how loads
+    // to it must be accounted (forwarding, no LRU touch): drop it.
+    if (line == micro.addr)
+        microInvalidate();
 
     if (l) {
         // Present but Shared: upgrade.
@@ -819,6 +845,7 @@ L1Controller::diagnose() const
 std::uint64_t
 L1Controller::drainDirty(Tick t)
 {
+    microInvalidate(); // the drain downgrades every Modified line
     return array.forEachDirty([&](Addr line) {
         ++stats.writebacks;
         fabric.writebackLine(t, id, line);

@@ -71,6 +71,13 @@ struct L1Counters
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0;
 
+    /**
+     * Hits satisfied by the per-core line-hit micro path (a subset
+     * of loadHits/storeHits, never added on top of them). Host-time
+     * telemetry only; no simulated behaviour depends on it.
+     */
+    std::uint64_t fastpathHits = 0;
+
     std::uint64_t demandAccesses() const
     {
         return loadHits + loadMisses + storeHits + storeMisses +
@@ -225,6 +232,14 @@ struct L1Config
     Tick cyclePeriod = 1250;  ///< owning core's clock period
     Cycles hitLatency = 1;
     Cycles atomicLatency = 3; ///< extra cycles for the RMW beat
+
+    /**
+     * Enable the per-core "last line, permission" micro path
+     * (microLoad/microStore). Purely a host-time optimization with
+     * bit-identical simulated behaviour; the switch exists so golden
+     * regressions can pin both configurations.
+     */
+    bool fastPath = true;
 };
 
 /**
@@ -278,6 +293,54 @@ class L1Controller : public Diagnosable
      *        the line without reading memory.
      */
     bool store(Tick t, Addr addr, bool pfs, Callback cb);
+
+    //
+    // Per-core line-hit micro path (DESIGN.md §13, layer 3).
+    //
+    // A one-entry "last line, permission" cache over the full
+    // load()/store() probe. The entry is populated only on a full
+    // hit to a resident, non-prefetched line with no store buffered
+    // (so the full path's extra work — prefetched-flag handling,
+    // store forwarding, state transitions — can never be needed on a
+    // micro hit), and is invalidated whenever any of its premises
+    // could change: frame re-tag on eviction, snoop on the line,
+    // store-buffer insert/drain for the line, end-of-run drain,
+    // quantum flush, and forged test states. A micro hit therefore
+    // performs exactly the accounting the full path would: the hit
+    // counter, the LRU touch, and (for stores, where the line is
+    // already Modified) the checker's golden-data refresh.
+    //
+
+    /** Micro-path load probe: counts the hit and returns true. */
+    bool
+    microLoad(Addr addr)
+    {
+        if (array.lineAddr(addr) != micro.addr)
+            return false;
+        ++stats.loadHits;
+        ++stats.fastpathHits;
+        array.touch(*micro.line);
+        return true;
+    }
+
+    /** Micro-path store probe; valid only for Modified lines. */
+    bool
+    microStore(Tick t, Addr addr)
+    {
+        if (array.lineAddr(addr) != micro.addr || !micro.storeOk)
+            return false;
+        // Same golden-copy refresh as the full path; the M -> M
+        // transition itself is elided there too.
+        if (checker)
+            checker->onStoreData(t, id, micro.addr);
+        ++stats.storeHits;
+        ++stats.fastpathHits;
+        array.touch(*micro.line);
+        return true;
+    }
+
+    /** Drop the micro-path entry (always safe, only conservative). */
+    void microInvalidate() { micro = MicroEntry{}; }
 
     /** Atomic read-modify-write; always completes via @p cb. */
     void atomic(Tick t, Addr addr, Callback cb);
@@ -360,6 +423,29 @@ class L1Controller : public Diagnosable
 
     void issuePrefetches(Tick t, Addr miss_line);
 
+    /** The micro path's cached translation (see the block above). */
+    struct MicroEntry
+    {
+        CacheArray::Line *line = nullptr;
+        Addr addr = ~Addr(0); ///< line address; ~0 = empty
+        bool storeOk = false; ///< line is Modified
+    };
+
+    /**
+     * Adopt @p l as the micro entry after a full-path hit, unless
+     * the fast path is disabled or the line is marked prefetched
+     * (its first touch must run the full path's flag handling).
+     */
+    void
+    microAdopt(CacheArray::Line *l, Addr line)
+    {
+        if (!cfg.fastPath || (l->flags & flagPrefetched) != 0)
+            return;
+        micro.line = l;
+        micro.addr = line;
+        micro.storeOk = l->state == MesiState::Modified;
+    }
+
     int id;
     L1Config cfg;
     EventQueue &eq;
@@ -370,6 +456,7 @@ class L1Controller : public Diagnosable
     StreamPrefetcher *prefetcher = nullptr;
     CoherenceChecker *checker = nullptr;
     Cycles snoopStallCycles = 0;
+    MicroEntry micro;
     L1Counters stats;
 };
 

@@ -29,6 +29,8 @@ StoreBuffer::complete(Addr line, Tick when)
     auto it = lines.find(line);
     assert(it != lines.end());
     lines.erase(it);
+    if (drainHook)
+        drainHook(line);
     if (obs)
         obs(false, line);
     if (spaceWaiter) {

@@ -33,10 +33,20 @@ class StoreBuffer : public Diagnosable
     /** Passive observer: (inserted, line) on insert/complete. */
     using Observer = std::function<void(bool inserted, Addr line)>;
 
+    /** Hook invoked with the line as each entry drains (complete()). */
+    using DrainHook = std::function<void(Addr line)>;
+
     explicit StoreBuffer(std::size_t capacity = 8);
 
     /** Attach a coherence-checker observer (null to detach). */
     void setObserver(Observer o) { obs = std::move(o); }
+
+    /**
+     * Attach the owning controller's drain hook (micro-path
+     * invalidation; see l1_controller.hh). Fires before the
+     * space-waiter so the controller sees a consistent view.
+     */
+    void setDrainHook(DrainHook h) { drainHook = std::move(h); }
 
     bool full() const { return lines.size() >= cap; }
     bool empty() const { return lines.empty(); }
@@ -76,6 +86,7 @@ class StoreBuffer : public Diagnosable
   private:
     std::size_t cap;
     Observer obs;
+    DrainHook drainHook;
     std::unordered_map<Addr, bool> lines;
     SpaceWaiter spaceWaiter;
     std::uint64_t numInserts = 0;

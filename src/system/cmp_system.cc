@@ -50,6 +50,7 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
         l1c.mshrs = cfg.mshrs;
         l1c.storeBufferEntries = cfg.storeBufferEntries;
         l1c.cyclePeriod = clock.period();
+        l1c.fastPath = cfg.memFastPath;
         l1Vec.push_back(
             std::make_unique<L1Controller>(i, l1c, eq, *fab));
         if (check)
@@ -201,6 +202,7 @@ CmpSystem::collectStats() const
         rs.l1Total.suppliesProvided += c.suppliesProvided;
         rs.l1Total.prefetchesIssued += c.prefetchesIssued;
         rs.l1Total.prefetchesUseful += c.prefetchesUseful;
+        rs.l1Total.fastpathHits += c.fastpathHits;
     }
 
     for (const auto &ls : lsVec) {
@@ -314,6 +316,7 @@ RunStats::toStatSet() const
     s.set("l1.snoops", double(l1Total.snoopsReceived));
     s.set("l1.prefetches_issued", double(l1Total.prefetchesIssued));
     s.set("l1.prefetches_useful", double(l1Total.prefetchesUseful));
+    s.set("mem.fastpath_hits", double(l1Total.fastpathHits));
     s.set("ls.reads", double(lsReads));
     s.set("ls.writes", double(lsWrites));
     s.set("dma.accesses", double(dmaAccesses));

@@ -50,6 +50,15 @@ struct SystemConfig
      */
     bool checkCoherence = false;
 
+    /**
+     * Enable the memory-access fast path's per-core line-hit micro
+     * cache (DESIGN.md §13). A host-time optimization only: results
+     * and stats are bit-identical either way (pinned by the golden
+     * regressions in tests/test_determinism.cc), so this stays on
+     * except when isolating the fast path itself.
+     */
+    bool memFastPath = true;
+
     /** First-level data storage (constant capacity across models). */
     std::uint32_t ccL1SizeBytes = 32 * 1024;
     std::uint32_t ccL1Assoc = 2;

@@ -213,6 +213,72 @@ TEST(StressDeterminism, SharingDegreeChangesTraffic)
     EXPECT_NE(rl.stats.execTicks, rh.stats.execTicks);
 }
 
+/**
+ * Golden regressions pinning one CC and one STR workload to the
+ * exact RunStats recorded before the memory-access fast path (the
+ * page-translation cache, shift/mask set indexing, MRU-way probe,
+ * and per-core line-hit micro path) landed. Run with the fast path
+ * both enabled and force-disabled: the two configurations must be
+ * bit-identical to each other and to the recorded baseline, which is
+ * the fast path's core contract.
+ */
+TEST(FastPathGolden, StatsMatchPreFastPathBaseline)
+{
+    struct Golden
+    {
+        const char *workload;
+        MemModel model;
+        Tick execTicks;
+        std::uint64_t instructions, l1DemandMisses;
+        std::uint64_t loadHits, storeHits;
+        std::uint64_t dramReadBytes, dramWriteBytes;
+        std::uint64_t busBytes, xbarBytes, l2Hits, l2Misses;
+        double energyMj;
+    };
+    constexpr Golden kGolden[] = {
+        {"fir", MemModel::CC, 90897550, 98338, 4114, 14429, 14267,
+         131104, 65504, 230064, 229664, 2054, 4097,
+         0.049725057599999997},
+        {"mpeg2", MemModel::STR, 1305551650, 3949012, 59, 0, 362,
+         123392, 123360, 865240, 865240, 14739, 7703,
+         0.79424939880000012},
+    };
+
+    WorkloadParams p;
+    p.scale = 0;
+    for (const Golden &g : kGolden) {
+        for (bool fast : {true, false}) {
+            SystemConfig cfg = makeConfig(4, g.model);
+            cfg.memFastPath = fast;
+            RunResult r = runWorkload(g.workload, cfg, p);
+            std::string tag = std::string(g.workload) + " " +
+                              to_string(g.model) +
+                              (fast ? " fast" : " slow");
+            ASSERT_TRUE(r.verified) << tag;
+            EXPECT_EQ(r.stats.execTicks, g.execTicks) << tag;
+            EXPECT_EQ(r.stats.coreTotal.instructions(), g.instructions)
+                << tag;
+            EXPECT_EQ(r.stats.l1Total.demandMisses(), g.l1DemandMisses)
+                << tag;
+            EXPECT_EQ(r.stats.l1Total.loadHits, g.loadHits) << tag;
+            EXPECT_EQ(r.stats.l1Total.storeHits, g.storeHits) << tag;
+            EXPECT_EQ(r.stats.dramReadBytes, g.dramReadBytes) << tag;
+            EXPECT_EQ(r.stats.dramWriteBytes, g.dramWriteBytes) << tag;
+            EXPECT_EQ(r.stats.busBytes, g.busBytes) << tag;
+            EXPECT_EQ(r.stats.xbarBytes, g.xbarBytes) << tag;
+            EXPECT_EQ(r.stats.l2Hits, g.l2Hits) << tag;
+            EXPECT_EQ(r.stats.l2Misses, g.l2Misses) << tag;
+            EXPECT_DOUBLE_EQ(r.energy.totalMj(), g.energyMj) << tag;
+            // The telemetry distinguishes the two configurations
+            // even though the simulated behaviour cannot.
+            if (fast)
+                EXPECT_GT(r.stats.l1Total.fastpathHits, 0u) << tag;
+            else
+                EXPECT_EQ(r.stats.l1Total.fastpathHits, 0u) << tag;
+        }
+    }
+}
+
 TEST(TimingSanity, ComponentsNeverExceedExecTime)
 {
     WorkloadParams p;

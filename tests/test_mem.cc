@@ -501,6 +501,108 @@ TEST_F(L1StoreBufferFixture, PfsStoreBypassesAllocateFetch)
 }
 
 //
+// Per-core line-hit micro path (fast path layer 3).
+//
+
+TEST_F(L1StoreBufferFixture, MicroPathAdoptsOnFullHitAndCountsAlike)
+{
+    build();
+    // Warm a line: the fill itself must not adopt (no full hit yet).
+    l1->load(0, 0x300, [](Tick) {});
+    eq.run();
+    EXPECT_FALSE(l1->microLoad(0x300));
+
+    // A full-path hit adopts; repeat loads then take the micro path
+    // with identical accounting (loadHits grows, fastpathHits tags
+    // the hit as micro-served).
+    ASSERT_TRUE(l1->load(eq.now(), 0x304, [](Tick) {}));
+    const auto hits = l1->counters().loadHits;
+    EXPECT_TRUE(l1->microLoad(0x308));
+    EXPECT_EQ(l1->counters().loadHits, hits + 1);
+    EXPECT_EQ(l1->counters().fastpathHits, 1u);
+    // A different line misses the one-entry micro cache.
+    EXPECT_FALSE(l1->microLoad(0x340));
+}
+
+TEST_F(L1StoreBufferFixture, MicroStoreRequiresModifiedLine)
+{
+    build();
+    l1->load(0, 0x500, [](Tick) {});
+    eq.run();
+    ASSERT_TRUE(l1->load(eq.now(), 0x500, [](Tick) {}));
+
+    // Adopted from a load hit on an Exclusive line: stores must take
+    // the full path (the E -> M transition needs the checker note).
+    EXPECT_FALSE(l1->microStore(eq.now(), 0x500));
+    ASSERT_TRUE(l1->store(eq.now(), 0x500, false, [](Tick) {}));
+    ASSERT_EQ(state(0x500), MesiState::Modified);
+
+    // The store hit re-adopted with store permission.
+    const auto ck_events = checker->eventsObserved();
+    const auto store_hits = l1->counters().storeHits;
+    EXPECT_TRUE(l1->microStore(eq.now(), 0x504));
+    EXPECT_EQ(l1->counters().storeHits, store_hits + 1);
+    // The golden-data refresh still reached the checker.
+    EXPECT_GT(checker->eventsObserved(), ck_events);
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(L1StoreBufferFixture, MicroPathInvalidatedBySnoopAndForge)
+{
+    build();
+    l1->load(0, 0x600, [](Tick) {});
+    eq.run();
+    ASSERT_TRUE(l1->load(eq.now(), 0x600, [](Tick) {}));
+    ASSERT_TRUE(l1->microLoad(0x600));
+
+    // A snoop on the line (even a plain downgrade) drops the entry.
+    l1->snoop(0x600, false);
+    EXPECT_FALSE(l1->microLoad(0x600));
+
+    // Re-adopt, then forge a state behind the checker's back: the
+    // micro entry must not survive that either.
+    ASSERT_TRUE(l1->load(eq.now(), 0x600, [](Tick) {}));
+    ASSERT_TRUE(l1->microLoad(0x600));
+    l1->forgeStateForTest(0x600, MesiState::Shared);
+    EXPECT_FALSE(l1->microLoad(0x600));
+}
+
+TEST_F(L1StoreBufferFixture, MicroPathInvalidatedByBufferedStore)
+{
+    build();
+    l1->load(0, 0x700, [](Tick) {});
+    eq.run();
+    l1->forgeStateForTest(0x700, MesiState::Shared);
+    ASSERT_TRUE(l1->load(eq.now(), 0x700, [](Tick) {}));
+    ASSERT_TRUE(l1->microLoad(0x700));
+
+    // A store to the Shared line parks in the store buffer; loads to
+    // it must now take the forwarding path (no LRU touch), so the
+    // micro entry is dropped and stays out until the next full hit.
+    ASSERT_TRUE(l1->store(eq.now(), 0x700, false, [](Tick) {}));
+    EXPECT_FALSE(l1->microLoad(0x700));
+    eq.run(); // drain: line lands Modified
+    ASSERT_EQ(state(0x700), MesiState::Modified);
+    EXPECT_FALSE(l1->microLoad(0x700)); // still not re-adopted
+    ASSERT_TRUE(l1->load(eq.now(), 0x700, [](Tick) {}));
+    EXPECT_TRUE(l1->microLoad(0x700));
+}
+
+TEST_F(L1StoreBufferFixture, MicroPathDisabledNeverAdopts)
+{
+    L1Config cfg;
+    cfg.fastPath = false;
+    build(cfg);
+    l1->load(0, 0x800, [](Tick) {});
+    eq.run();
+    ASSERT_TRUE(l1->load(eq.now(), 0x800, [](Tick) {}));
+    EXPECT_FALSE(l1->microLoad(0x800));
+    ASSERT_TRUE(l1->store(eq.now(), 0x800, false, [](Tick) {}));
+    EXPECT_FALSE(l1->microStore(eq.now(), 0x800));
+    EXPECT_EQ(l1->counters().fastpathHits, 0u);
+}
+
+//
 // Resources.
 //
 
