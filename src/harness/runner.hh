@@ -35,6 +35,23 @@ struct RunResult
         return hostSeconds > 0 ? double(stats.eventsExecuted) / hostSeconds
                                : 0;
     }
+
+    /**
+     * Access-path host throughput: simulated first-level data
+     * accesses (loads, stores, atomics, local-store reads/writes)
+     * per host CPU second — the figure of merit for the memory-access
+     * fast path (DESIGN.md §13). Nondeterministic, like
+     * eventsPerSec(), so it is reported next to it rather than in
+     * the deterministic stats block.
+     */
+    double
+    accessesPerSec() const
+    {
+        const CoreStats &c = stats.coreTotal;
+        const double a = double(c.loads + c.stores + c.atomics +
+                                c.lsReads + c.lsWrites);
+        return hostSeconds > 0 ? a / hostSeconds : 0;
+    }
 };
 
 /**

@@ -406,6 +406,8 @@ SweepResult::toJson() const
                ",\n";
         out += "      \"events_per_sec\": " + jnum(jr.run.eventsPerSec()) +
                ",\n";
+        out += "      \"accesses_per_sec\": " +
+               jnum(jr.run.accessesPerSec()) + ",\n";
         out += "      \"stats\": " + jr.run.stats.toStatSet().toJson() +
                ",\n";
         out += "      \"energy\": " + energyJson(jr.run.energy);
