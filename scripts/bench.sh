@@ -32,6 +32,7 @@ benches=(
     ablation_dram
     ablation_hybrid
     micro_events
+    micro_access
     microbench
 )
 
@@ -50,3 +51,27 @@ done
 echo
 echo "==> artifacts:"
 ls -l "${root}"/BENCH_*.json
+
+# One-line host-throughput aggregate across every job in every
+# artifact, for eyeballing the trajectory PR over PR.
+python3 - "${root}"/BENCH_*.json <<'EOF'
+import json, sys
+
+host = events = accesses = 0.0
+jobs = 0
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    for job in doc.get("results", []):
+        if not job.get("ran"):
+            continue
+        jobs += 1
+        secs = job.get("host_seconds", 0.0)
+        host += secs
+        events += job.get("events_per_sec", 0.0) * secs
+        accesses += job.get("accesses_per_sec", 0.0) * secs
+if host > 0:
+    print(f"==> summary: {jobs} jobs, {host:.1f} s host CPU, "
+          f"{events / host:.3g} events/sec, "
+          f"{accesses / host:.3g} accesses/sec (host-time weighted)")
+EOF

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+#
+# Build the `profile` preset (-O2 -g -fno-omit-frame-pointer) and run
+# a command under `perf record`, then print the hot-spot summary.
+# Frame pointers are kept so --call-graph fp unwinds without DWARF
+# cost; see DESIGN.md §13 for the fast-path work this flow measured.
+#
+# Usage: scripts/profile.sh [command args...]
+#   default command: build-profile/bench/micro_access
+#
+# Without a `perf` binary on the host (e.g. a slim container), the
+# command still runs under `time` so the flow degrades to a coarse
+# host-cost check instead of failing.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> configuring + building profile preset"
+cmake --preset profile >/dev/null
+cmake --build --preset profile -j "$(nproc)"
+
+cmd=("$@")
+if [ "${#cmd[@]}" -eq 0 ]; then
+    cmd=(build-profile/bench/micro_access)
+fi
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "==> perf(1) not found; running under time(1) instead" >&2
+    time "${cmd[@]}"
+    exit 0
+fi
+
+out="build-profile/perf.data"
+echo "==> perf record: ${cmd[*]}"
+perf record -g --call-graph fp -o "${out}" -- "${cmd[@]}"
+echo
+echo "==> hottest symbols (full report: perf report -i ${out})"
+perf report --stdio -i "${out}" | head -40
