@@ -17,7 +17,8 @@
  *                 store path plus store-buffer/upgrade traffic at
  *                 burst boundaries.
  *
- * CMPMEM_SCALE scales the access counts (0 = smoke).
+ * CMPMEM_SCALE scales the access counts (0 = smoke);
+ * CMPMEM_BENCH_SCALE divides them (sanitized-tree TIMEOUT relief).
  */
 
 #include <cstdio>
@@ -32,16 +33,6 @@ namespace
 // Matches SystemConfig::lineBytes; checked at the top of main().
 constexpr std::uint64_t kLineBytes = 32;
 constexpr std::uint64_t kWordsPerLine = kLineBytes / 8;
-
-/** Access-count multiplier from CMPMEM_SCALE (0 -> smoke). */
-std::uint64_t
-scaleFactor()
-{
-    int scale = benchParams().scale;
-    if (scale <= 0)
-        return 1;
-    return 20 * std::uint64_t(scale);
-}
 
 /** Package a finished single-core run as a sweep RunResult. */
 RunResult
@@ -105,7 +96,7 @@ runHitLoop()
     auto buf = ArrayRef<std::uint64_t>::alloc(sys.mem(), kWordsPerLine);
     double t0 = threadCpuSeconds();
     sys.bindKernel(0, hitLoopKernel(sys.context(0), buf.at(0),
-                                    60000 * scaleFactor()));
+                                    benchIters(60000)));
     sys.simulate();
     return accessResult(sys, threadCpuSeconds() - t0);
 }
@@ -121,7 +112,7 @@ runStride()
                                               kLines * kWordsPerLine);
     double t0 = threadCpuSeconds();
     sys.bindKernel(0, strideKernel(sys.context(0), buf.at(0), kLines,
-                                   40000 * scaleFactor()));
+                                   benchIters(40000)));
     sys.simulate();
     return accessResult(sys, threadCpuSeconds() - t0);
 }
@@ -149,7 +140,7 @@ runChase()
 
     double t0 = threadCpuSeconds();
     sys.bindKernel(0, chaseKernel(sys.context(0), ring,
-                                  40000 * scaleFactor()));
+                                  benchIters(40000)));
     sys.simulate();
     return accessResult(sys, threadCpuSeconds() - t0);
 }
@@ -164,7 +155,7 @@ runStoreBurst()
                                               4 * kWordsPerLine);
     double t0 = threadCpuSeconds();
     sys.bindKernel(0, storeBurstKernel(sys.context(0), buf.at(0),
-                                       40000 * scaleFactor()));
+                                       benchIters(40000)));
     sys.simulate();
     return accessResult(sys, threadCpuSeconds() - t0);
 }

@@ -13,10 +13,15 @@
  *   burst  - same-tick fan-out bursts: the now-FIFO path.
  *   far    - horizons beyond the calendar ring: overflow heap and
  *            migration on window advance.
+ *   far_tuned - the same far-future stream under auto-tuned calendar
+ *            geometry (a dry-run sample picks the bucket shift via
+ *            EventQueue::recommendBucketShift): same events, a
+ *            fraction of the overflows.
  *   stress - the full-system randomized "stress" workload (CC,
  *            4 cores), where model code dominates each event.
  *
- * CMPMEM_SCALE scales the event counts (0 = smoke).
+ * CMPMEM_SCALE scales the event counts (0 = smoke);
+ * CMPMEM_BENCH_SCALE divides them (sanitized-tree TIMEOUT relief).
  */
 
 #include <cstdio>
@@ -28,16 +33,6 @@ using namespace cmpmem;
 namespace
 {
 
-/** Event-count multiplier from CMPMEM_SCALE (0 -> smoke). */
-std::uint64_t
-scaleFactor()
-{
-    int scale = benchParams().scale;
-    if (scale <= 0)
-        return 1;
-    return 20 * std::uint64_t(scale);
-}
-
 /** Package a finished queue run as a sweep RunResult. */
 RunResult
 queueResult(const EventQueue &eq, double host_seconds)
@@ -46,6 +41,7 @@ queueResult(const EventQueue &eq, double host_seconds)
     r.stats.eventsExecuted = eq.executed();
     r.stats.peakPendingEvents = eq.peakPending();
     r.stats.calendarOverflows = eq.calendarOverflows();
+    r.stats.calendarBucketShift = eq.bucketShift();
     r.stats.execTicks = eq.now();
     r.hostSeconds = host_seconds;
     r.verified = true;
@@ -57,7 +53,7 @@ RunResult
 runChurn()
 {
     constexpr int kChains = 64;
-    const std::uint64_t perChain = 2000 * scaleFactor();
+    const std::uint64_t perChain = benchIters(2000);
 
     EventQueue eq;
     std::uint64_t fired = 0;
@@ -93,7 +89,7 @@ RunResult
 runBurst()
 {
     constexpr int kBurst = 63;
-    const std::uint64_t rounds = 2000 * scaleFactor();
+    const std::uint64_t rounds = benchIters(2000);
 
     EventQueue eq;
     std::uint64_t fired = 0;
@@ -122,39 +118,83 @@ runBurst()
     return queueResult(eq, threadCpuSeconds() - t0);
 }
 
+struct FarChain
+{
+    EventQueue *eq;
+    std::uint64_t *fired;
+    std::uint64_t left;
+    Tick stride;
+
+    void
+    arm(Tick when)
+    {
+        eq->schedule(when, [this, when] {
+            ++*fired;
+            if (--left)
+                arm(when + stride);
+        });
+    }
+};
+
+/** Launch the far-future chain set on @p eq (strides 300k..940k). */
+void
+armFarChains(EventQueue &eq, std::vector<FarChain> &chains,
+             std::uint64_t *fired, std::uint64_t per_chain)
+{
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+        // Well past the default ~262k-tick window so every hop
+        // overflows under the stock geometry.
+        chains[i] = {&eq, fired, per_chain, Tick(300000 + 40001 * i)};
+        chains[i].arm(Tick(i));
+    }
+}
+
 /** Chains whose stride exceeds the calendar window (overflow path). */
 RunResult
 runFar()
 {
     constexpr int kChains = 16;
-    const std::uint64_t perChain = 2000 * scaleFactor();
+    const std::uint64_t perChain = benchIters(2000);
 
     EventQueue eq;
     std::uint64_t fired = 0;
-    struct Chain
-    {
-        EventQueue *eq;
-        std::uint64_t *fired;
-        std::uint64_t left;
-        Tick stride;
-
-        void
-        arm(Tick when)
-        {
-            eq->schedule(when, [this, when] {
-                ++*fired;
-                if (--left)
-                    arm(when + stride);
-            });
-        }
-    };
-    std::vector<Chain> chains(kChains);
+    std::vector<FarChain> chains(kChains);
     double t0 = threadCpuSeconds();
-    for (int i = 0; i < kChains; ++i) {
-        // Well past the ~262k-tick window so every hop overflows.
-        chains[i] = {&eq, &fired, perChain, Tick(300000 + 40001 * i)};
-        chains[i].arm(Tick(i));
+    armFarChains(eq, chains, &fired, perChain);
+    eq.run();
+    return queueResult(eq, threadCpuSeconds() - t0);
+}
+
+/**
+ * The same far-future stream under auto-tuned geometry: a short
+ * dry-run sample under the default shift feeds
+ * recommendBucketShift(), and the measured run uses the result. The
+ * simulated stream is bit-identical to runFar() — same events, same
+ * final tick — with the overflow heap nearly idle (the artifact
+ * records both, which is the before/after the perf gate watches).
+ */
+RunResult
+runFarTuned()
+{
+    constexpr int kChains = 16;
+    const std::uint64_t perChain = benchIters(2000);
+
+    unsigned shift;
+    {
+        EventQueue sample;
+        std::uint64_t fired = 0;
+        std::vector<FarChain> chains(kChains);
+        armFarChains(sample, chains, &fired, perChain);
+        sample.runUntil(4 * sample.horizonTicks());
+        shift = sample.recommendBucketShift();
     }
+
+    EventQueue eq;
+    eq.setBucketShift(shift);
+    std::uint64_t fired = 0;
+    std::vector<FarChain> chains(kChains);
+    double t0 = threadCpuSeconds();
+    armFarChains(eq, chains, &fired, perChain);
     eq.run();
     return queueResult(eq, threadCpuSeconds() - t0);
 }
@@ -184,6 +224,11 @@ main(int argc, char **argv)
                       std::vector<std::string>{},
                       std::map<std::string, std::string>{{"job", "far"}},
                       runFar);
+    jobs.emplace_back("far_tuned", "", SystemConfig{}, WorkloadParams{},
+                      std::vector<std::string>{},
+                      std::map<std::string, std::string>{
+                          {"job", "far_tuned"}},
+                      runFarTuned);
     jobs.emplace_back("stress/model=CC", "stress",
                       makeConfig(4, MemModel::CC), stress_params,
                       std::vector<std::string>{},
@@ -197,7 +242,7 @@ main(int argc, char **argv)
     SweepResult res = runJobs("micro_events", std::move(jobs), opts);
 
     TextTable table({"job", "events", "host ms", "events/sec",
-                     "peak pending", "overflows"});
+                     "peak pending", "overflows", "shift"});
     for (const JobResult &jr : res.jobs()) {
         table.addRow({jr.job.id,
                       fmt("%llu", (unsigned long long)
@@ -207,7 +252,9 @@ main(int argc, char **argv)
                       fmt("%llu", (unsigned long long)
                                       jr.run.stats.peakPendingEvents),
                       fmt("%llu", (unsigned long long)
-                                      jr.run.stats.calendarOverflows)});
+                                      jr.run.stats.calendarOverflows),
+                      fmt("%llu", (unsigned long long)
+                                      jr.run.stats.calendarBucketShift)});
     }
     std::printf("%s", table.format().c_str());
     return finishBench(res);

@@ -39,7 +39,7 @@ benches=(
 echo "==> configuring build"
 cmake -S . -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> building bench suite"
-cmake --build build -j "${jobs}" --target "${benches[@]}"
+cmake --build build -j "${jobs}" --target "${benches[@]}" bench_compare
 
 export CMPMEM_ARTIFACT_DIR="${root}"
 for b in "${benches[@]}"; do
@@ -51,6 +51,28 @@ done
 echo
 echo "==> artifacts:"
 ls -l "${root}"/BENCH_*.json
+
+# Compare against the committed baselines where one exists and the
+# sizing matches (baselines are pinned at CMPMEM_SCALE=0 with no
+# iteration divisor — the gate refuses cross-sizing diffs, so skip
+# rather than fail a full-scale run). Host throughput is warn-only
+# here: bench.sh runs at whatever scale the caller picked on
+# whatever machine this is; the strict gate is scripts/check.sh
+# --full.
+if [[ "${CMPMEM_SCALE:-1}" == "0" && "${CMPMEM_BENCH_SCALE:-1}" == "1" ]]
+then
+    echo
+    echo "==> comparing against baselines/ (warn host mode)"
+    for b in "${benches[@]}"; do
+        baseline="baselines/BENCH_${b}.json"
+        [[ -f "${baseline}" ]] || continue
+        build/bench/bench_compare --host-mode=warn --annotate \
+            "${baseline}" "${root}/BENCH_${b}.json"
+    done
+else
+    echo "==> skipping baseline comparison (sizing differs from the"
+    echo "    pinned baseline config; see DESIGN.md §14)"
+fi
 
 # One-line host-throughput aggregate across every job in every
 # artifact, for eyeballing the trajectory PR over PR.

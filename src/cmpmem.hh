@@ -26,7 +26,9 @@
 #include "energy/energy_model.hh"
 #include "faults/fault_config.hh"
 #include "faults/fault_injector.hh"
+#include "harness/bench_compare.hh"
 #include "harness/experiment.hh"
+#include "harness/json.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"

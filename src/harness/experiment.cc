@@ -79,9 +79,36 @@ WorkloadParams
 benchParams()
 {
     WorkloadParams params;
-    if (const char *env = std::getenv("CMPMEM_SCALE"))
-        params.scale = std::atoi(env);
+    params.scale = benchScale();
     return params;
+}
+
+int
+benchScale()
+{
+    if (const char *env = std::getenv("CMPMEM_SCALE"))
+        return std::atoi(env);
+    return 1;
+}
+
+std::uint64_t
+benchScaleDivisor()
+{
+    if (const char *env = std::getenv("CMPMEM_BENCH_SCALE")) {
+        long long v = std::atoll(env);
+        if (v > 1)
+            return std::uint64_t(v);
+    }
+    return 1;
+}
+
+std::uint64_t
+benchIters(std::uint64_t base)
+{
+    const int scale = benchScale();
+    const std::uint64_t factor = scale <= 0 ? 1 : 20 * std::uint64_t(scale);
+    const std::uint64_t iters = base * factor / benchScaleDivisor();
+    return iters ? iters : 1;
 }
 
 int

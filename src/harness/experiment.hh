@@ -8,6 +8,7 @@
 #ifndef CMPMEM_HARNESS_EXPERIMENT_HH
 #define CMPMEM_HARNESS_EXPERIMENT_HH
 
+#include <cstdint>
 #include <string>
 
 #include "harness/runner.hh"
@@ -69,6 +70,27 @@ std::string breakdownCells(const NormBreakdown &b);
  * for a quick pass).
  */
 WorkloadParams benchParams();
+
+/** The CMPMEM_SCALE in effect (default 1, 0 = smoke). */
+int benchScale();
+
+/**
+ * Iteration divisor for the substrate microbenchmarks, from the
+ * CMPMEM_BENCH_SCALE environment variable (default 1, clamped to at
+ * least 1). Sanitized trees set it so the ctest "perf" entries fit
+ * their TIMEOUT budget under ASan's ~10-20x slowdown; because it
+ * changes iteration counts (and therefore simulated stats), the
+ * value is recorded in every BENCH artifact and bench_compare
+ * refuses to diff artifacts produced under different divisors.
+ */
+std::uint64_t benchScaleDivisor();
+
+/**
+ * @p base iterations scaled for the current environment:
+ * base * max(1, 20 * CMPMEM_SCALE) / CMPMEM_BENCH_SCALE, clamped to
+ * at least 1. The common sizing helper of micro_events/micro_access.
+ */
+std::uint64_t benchIters(std::uint64_t base);
 
 /**
  * Bench epilogue: print the sweep's aggregate host-time and

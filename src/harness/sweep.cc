@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "sim/log.hh"
 #include "sim/sim_error.hh"
@@ -365,7 +366,14 @@ SweepResult::toJson() const
 {
     std::string out = "{\n";
     out += "  \"sweep\": " + jstr(sweepName) + ",\n";
-    out += "  \"schema\": 1,\n";
+    out += "  \"schema\": 2,\n";
+    // The effective workload scale and micro-iteration divisor: the
+    // two environment knobs that legitimately change simulated
+    // stats, recorded so bench_compare can refuse to diff artifacts
+    // produced under different sizings (DESIGN.md §14).
+    out += "  \"scale\": " + fmt("%d", benchScale()) + ",\n";
+    out += "  \"bench_scale_div\": " +
+           fmt("%llu", (unsigned long long)benchScaleDivisor()) + ",\n";
     out += "  \"workers\": " + fmt("%d", nWorkers) + ",\n";
     out += "  \"wall_seconds\": " + jnum(wallSecs) + ",\n";
     out += "  \"serial_seconds\": " + jnum(serialSeconds()) + ",\n";
@@ -410,6 +418,8 @@ SweepResult::toJson() const
                jnum(jr.run.accessesPerSec()) + ",\n";
         out += "      \"stats\": " + jr.run.stats.toStatSet().toJson() +
                ",\n";
+        out += "      \"stats_digest\": " +
+               jstr(jr.run.stats.toStatSet().digest()) + ",\n";
         out += "      \"energy\": " + energyJson(jr.run.energy);
         if (!jr.log.empty())
             out += ",\n      \"log\": " + jstr(jr.log);

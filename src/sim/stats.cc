@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 namespace cmpmem
@@ -95,6 +96,36 @@ StatSet::toCsv() const
         values += buf;
     }
     return header + "\n" + values + "\n";
+}
+
+std::string
+StatSet::digest() const
+{
+    // FNV-1a, 64-bit. Values hash by bit pattern (not by formatted
+    // text) so the digest is exactly as strict as operator== on the
+    // underlying doubles; +0.0 is normalized over -0.0 so an
+    // all-zero counter digests the same however it was computed.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const void *data, std::size_t len) {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const auto &name : order) {
+        mix(name.data(), name.size() + 1); // include the NUL: no
+                                           // name-concatenation aliasing
+        double v = get(name);
+        if (v == 0.0)
+            v = 0.0;
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        mix(&bits, sizeof(bits));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "fnv1a:%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
 }
 
 void

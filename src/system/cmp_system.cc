@@ -13,6 +13,8 @@ CmpSystem::CmpSystem(const SystemConfig &config) : cfg(config)
     cfg.finalize();
     cfg.validate();
 
+    eq.setBucketShift(cfg.eq.bucketShift);
+
     dramChannel = std::make_unique<DramChannel>(cfg.dram);
     l2cache = std::make_unique<L2Cache>(cfg.l2, *dramChannel);
     fab = std::make_unique<CoherenceFabric>(cfg.net, cfg.cores,
@@ -94,6 +96,14 @@ void
 CmpSystem::bindKernel(int i, KernelTask task)
 {
     coreVec.at(i)->bindKernel(std::move(task));
+}
+
+Tick
+CmpSystem::dryRun(Tick max_ticks)
+{
+    for (auto &core : coreVec)
+        core->start();
+    return eq.runUntil(max_ticks);
 }
 
 Tick
@@ -241,6 +251,7 @@ CmpSystem::collectStats() const
     rs.eventsExecuted = eq.executed();
     rs.peakPendingEvents = eq.peakPending();
     rs.calendarOverflows = eq.calendarOverflows();
+    rs.calendarBucketShift = eq.bucketShift();
 
     return rs;
 }
@@ -344,6 +355,7 @@ RunStats::toStatSet() const
     s.set("sim.events_executed", double(eventsExecuted));
     s.set("sim.peak_pending_events", double(peakPendingEvents));
     s.set("sim.calendar_overflows", double(calendarOverflows));
+    s.set("sim.calendar_bucket_shift", double(calendarBucketShift));
     return s;
 }
 

@@ -1,5 +1,6 @@
 #include "system/config.hh"
 
+#include "sim/event_queue.hh"
 #include "sim/sim_error.hh"
 
 namespace cmpmem
@@ -28,6 +29,17 @@ SystemConfig::validate() const
     if (pfsEnabled && model == MemModel::STR)
         throwSimError(SimErrorKind::Config,
                       "PFS stores apply to the cache-based model");
+    if (eq.bucketShift < EventQueue::kMinBucketShift ||
+        eq.bucketShift > EventQueue::kMaxBucketShift)
+        throwSimError(SimErrorKind::Config,
+                      "calendar bucket shift %u out of range [%u, %u]",
+                      eq.bucketShift, EventQueue::kMinBucketShift,
+                      EventQueue::kMaxBucketShift);
+    if (eq.autoTune &&
+        (eq.tuneDryRunTicks == 0 || eq.tuneHotThreshold < 0))
+        throwSimError(SimErrorKind::Config,
+                      "calendar auto-tuning needs a positive dry-run "
+                      "tick budget and a non-negative hot threshold");
     if (faults.enabled) {
         if (faults.dramBitFlipProb < 0 || faults.dramBitFlipProb >= 1 ||
             faults.netNackProb < 0 || faults.netNackProb >= 1 ||

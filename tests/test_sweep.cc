@@ -454,7 +454,11 @@ TEST(SweepJson, ArtifactIsValidAndCarriesTheSchema)
     EXPECT_TRUE(JsonChecker(json).valid()) << json;
     EXPECT_NE(json.find("\"sweep\": \"json_check\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"scale\": "), std::string::npos);
+    EXPECT_NE(json.find("\"bench_scale_div\": "), std::string::npos);
+    EXPECT_NE(json.find("\"stats_digest\": \"fnv1a:"),
+              std::string::npos);
     EXPECT_NE(json.find("\"id\": \"fir/model=CC\""),
               std::string::npos);
     EXPECT_NE(json.find("\"exec_ticks\""), std::string::npos);
