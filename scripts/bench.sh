@@ -31,6 +31,7 @@ benches=(
     ablation_interconnect
     ablation_dram
     ablation_hybrid
+    policy_space
     micro_events
     micro_access
     microbench

@@ -33,7 +33,7 @@ cd "$(dirname "$0")/.."
 
 # The benches with committed baselines; keep in step with the
 # cmpmem_gate() entries in bench/CMakeLists.txt and DESIGN.md §14.
-gate_benches="micro_events micro_access table3"
+gate_benches="micro_events micro_access table3 policy_space"
 
 full=0
 update=0
@@ -113,6 +113,12 @@ if [[ "${full}" -eq 1 ]]; then
     done
     run_config build-sanitize "-LE perf" -DCMAKE_BUILD_TYPE=Release \
         -DCMPMEM_SANITIZE=ON
+    echo "==> policy smoke sweep (sanitized, one workload, all points)"
+    # Every policy point exercises its own allocate/prefetch code
+    # under ASan+UBSan; one workload keeps the sanitized run quick.
+    CMPMEM_SCALE=0 CMPMEM_POLICY_WORKLOAD=fir \
+        CMPMEM_ARTIFACT_DIR=build-sanitize \
+        build-sanitize/bench/policy_space >/dev/null
     echo "==> fault-injection stress pass (sanitized, scale 2)"
     CMPMEM_FAULT_SCALE=2 ctest --test-dir build-sanitize \
         --output-on-failure -j "${jobs}" -R test_faults_stress

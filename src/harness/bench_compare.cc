@@ -181,9 +181,65 @@ class Comparer
         if (bd != fd)
             identity(id, "stats_digest",
                      "baseline " + bd + ", fresh " + fd);
-        if (bjob.at("config").dump() != fjob.at("config").dump())
-            identity(id, "config",
-                     "job configuration differs from baseline");
+        compareConfig(id, bjob.at("config"), fjob.at("config"));
+    }
+
+    /**
+     * Per-field config comparison. Cache-policy fields get a hard
+     * refusal (throwSimError) rather than an identity issue: a
+     * cross-policy diff is a category error — every stat would
+     * "regress", drowning real findings — exactly like the scale
+     * refusal in checkEnvelope(). Other field mismatches are
+     * reported per field so the report names what drifted.
+     */
+    void
+    compareConfig(const std::string &id, const JsonValue &bcfg,
+                  const JsonValue &fcfg)
+    {
+        static const std::set<std::string> policyFields = {
+            "l1_replacement", "l2_replacement", "prefetch_policy",
+            "bip_throttle"};
+
+        auto render = [](const JsonValue &v) {
+            return v.isString() ? v.asString() : v.dump();
+        };
+
+        for (const auto &[name, bval] : bcfg.members()) {
+            const JsonValue *fval = fcfg.find(name);
+            std::string bs = render(bval);
+            if (fval && bval.dump() == fval->dump())
+                continue;
+            if (policyFields.count(name)) {
+                throwSimError(
+                    SimErrorKind::Config,
+                    "refusing to compare job '%s': cache-policy "
+                    "field '%s' differs (baseline %s, fresh %s) — "
+                    "policy changes legitimately change simulated "
+                    "stats, so diff within one policy point instead",
+                    id.c_str(), name.c_str(), bs.c_str(),
+                    fval ? render(*fval).c_str() : "(absent)");
+            }
+            identity(id, "config." + name,
+                     fval ? fmt("baseline %s, fresh %s", bs.c_str(),
+                                render(*fval).c_str())
+                          : "present in baseline, missing from fresh");
+        }
+        for (const auto &[name, fval] : fcfg.members()) {
+            if (bcfg.find(name))
+                continue;
+            if (policyFields.count(name)) {
+                throwSimError(
+                    SimErrorKind::Config,
+                    "refusing to compare job '%s': cache-policy "
+                    "field '%s' is absent from the baseline (fresh "
+                    "%s) — regenerate baselines with scripts/"
+                    "check.sh --update-baselines",
+                    id.c_str(), name.c_str(),
+                    render(fval).c_str());
+            }
+            identity(id, "config." + name,
+                     "missing from baseline, present in fresh");
+        }
     }
 
     /** Bit-identity over a flat {name: number} object, both ways. */

@@ -25,8 +25,12 @@ log2Exact(std::uint32_t x)
 }
 } // namespace
 
-CacheArray::CacheArray(const CacheGeometry &g) : geom(g)
+CacheArray::CacheArray(const CacheGeometry &g, const ReplacementConfig &r)
+    : geom(g), repl(r), rng(r.seed)
 {
+    if (repl.bipThrottle == 0)
+        throwSimError(SimErrorKind::Config,
+                      "BIP throttle must be at least 1");
     // Each field must be a power of two individually: pow2 sets can
     // emerge from a non-pow2 size/assoc pair only via the silently
     // truncating division in sets(), which would index a different
@@ -69,26 +73,27 @@ CacheArray::lookup(Addr addr)
 }
 
 const CacheArray::Line *
-CacheArray::lookup(Addr addr) const
+CacheArray::peek(Addr addr) const
 {
-    return const_cast<CacheArray *>(this)->lookup(addr);
+    Addr la = lineAddr(addr);
+    const Line *set = &lines[std::size_t(setIndex(addr)) << assocShift];
+    for (std::uint32_t w = 0; w < geom.assoc; ++w) {
+        if (set[w].valid() && set[w].tag == la)
+            return &set[w];
+    }
+    return nullptr;
 }
 
+template <typename Traits>
 CacheArray::Line &
-CacheArray::allocate(Addr addr, Victim &victim)
+CacheArray::allocateImpl(Addr addr, Victim &victim)
 {
     assert(lookup(addr) == nullptr && "allocating a duplicate tag");
 
-    Line *set = &lines[std::size_t(setIndex(addr)) << assocShift];
-    Line *pick = &set[0];
-    for (std::uint32_t w = 0; w < geom.assoc; ++w) {
-        if (!set[w].valid()) {
-            pick = &set[w];
-            break;
-        }
-        if (set[w].lruStamp < pick->lruStamp)
-            pick = &set[w];
-    }
+    std::uint32_t si = setIndex(addr);
+    Line *set = &lines[std::size_t(si) << assocShift];
+    std::uint32_t way = Traits::victimWay(set, geom.assoc);
+    Line *pick = &set[way];
 
     victim.valid = pick->valid();
     victim.dirty = pick->dirty();
@@ -98,8 +103,28 @@ CacheArray::allocate(Addr addr, Victim &victim)
     pick->tag = lineAddr(addr);
     pick->state = MesiState::Invalid;
     pick->flags = 0;
-    touch(*pick);
+    pick->lruStamp = Traits::insertionStamp(lruClock, rng, repl);
+    // The hit hint always tracks the fill (host-only: the demand
+    // that triggered it is about to access this way), even when the
+    // policy inserts at the recency-stack bottom.
+    mruWay[si] = way;
     return *pick;
+}
+
+CacheArray::Line &
+CacheArray::allocate(Addr addr, Victim &victim)
+{
+    switch (repl.policy) {
+      case ReplacementPolicy::LRU:
+        return allocateImpl<LruTraits>(addr, victim);
+      case ReplacementPolicy::MIP:
+        return allocateImpl<MipTraits>(addr, victim);
+      case ReplacementPolicy::LIP:
+        return allocateImpl<LipTraits>(addr, victim);
+      case ReplacementPolicy::BIP:
+        return allocateImpl<BipTraits>(addr, victim);
+    }
+    return allocateImpl<LruTraits>(addr, victim); // unreachable
 }
 
 void

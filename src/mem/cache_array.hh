@@ -1,6 +1,8 @@
 /**
  * @file
- * Set-associative tag/state array with true-LRU replacement.
+ * Set-associative tag/state array with trait-dispatched replacement
+ * (true LRU by default; see mem/cache_policy.hh for the policy
+ * space).
  *
  * cmpmem caches carry timing and coherence *metadata* only; data
  * values live in FunctionalMemory (see functional_memory.hh for the
@@ -14,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/cache_policy.hh"
+#include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -82,28 +86,53 @@ class CacheArray
         MesiState state = MesiState::Invalid; ///< state when displaced
     };
 
-    explicit CacheArray(const CacheGeometry &geom);
+    explicit CacheArray(const CacheGeometry &geom,
+                        const ReplacementConfig &repl = {});
 
     const CacheGeometry &geometry() const { return geom; }
+    const ReplacementConfig &replacement() const { return repl; }
 
     /** Line-align an address. */
     Addr lineAddr(Addr a) const { return a & ~Addr(geom.lineBytes - 1); }
 
     /**
-     * Find the line holding @p addr, or nullptr. Does not update LRU;
-     * callers decide whether the probe counts as a use (demand access)
-     * or not (snoop).
+     * Find the line holding @p addr, or nullptr. Never updates
+     * replacement recency — that happens only through an explicit
+     * touch() — but the non-const overload does refresh the set's
+     * MRU-way hit hint (a host-only accelerator; see mruWay below).
+     * Callers on timing paths decide whether the probe counts as a
+     * use (demand access: lookup + touch) or not (snoop: lookup
+     * alone); observers that must not perturb even the hint use
+     * peek().
      */
     Line *lookup(Addr addr);
-    const Line *lookup(Addr addr) const;
+
+    /** Const probe; an alias of peek() (no side effects at all). */
+    const Line *lookup(Addr addr) const { return peek(addr); }
+
+    /**
+     * Side-effect-free probe: find the line holding @p addr without
+     * touching recency state *or* the MRU-way hint. For observers —
+     * checker audits, test assertions, diagnostics — so that no
+     * caller can update recency (or any other array state) by
+     * accident.
+     */
+    const Line *peek(Addr addr) const;
 
     /**
      * Mark @p line most recently used. Also records the line's way
      * as the set's hit hint, so the next lookup probes it first.
+     *
+     * Deliberately policy-agnostic: every supported replacement
+     * policy (cache_policy.hh) promotes to MRU on a demand hit, so
+     * the hit path — including the memory-access fast path built on
+     * this inline function — never pays a policy dispatch.
      */
     void
     touch(Line &line)
     {
+        static_assert(LruEvictionBase::promoteOnHit,
+                      "touch() assumes hit promotion is policy-agnostic");
         line.lruStamp = ++lruClock;
         std::size_t idx = std::size_t(&line - lines.data());
         mruWay[idx >> assocShift] =
@@ -111,10 +140,13 @@ class CacheArray
     }
 
     /**
-     * Claim a frame for @p addr, evicting the LRU line of the set if
-     * necessary. The displaced line (if any) is described in
-     * @p victim. The returned line is re-tagged to @p addr and left
-     * Invalid; the caller sets the state.
+     * Claim a frame for @p addr, evicting a victim chosen by the
+     * configured replacement policy if necessary (LRU way under
+     * every supported policy). The displaced line (if any) is
+     * described in @p victim. The returned line is re-tagged to
+     * @p addr, left Invalid (the caller sets the state), and stamped
+     * by the policy's insertion rule — MRU for LRU/MIP, stack bottom
+     * for LIP, bimodal for BIP.
      *
      * @pre lookup(addr) == nullptr (no duplicate tags).
      */
@@ -164,7 +196,13 @@ class CacheArray
         return std::uint32_t(addr >> lineShift) & setMask;
     }
 
+    /** allocate() body, instantiated per policy trait. */
+    template <typename Traits>
+    Line &allocateImpl(Addr addr, Victim &victim);
+
     CacheGeometry geom;
+    ReplacementConfig repl;
+    Rng rng; ///< drawn only by BIP's bimodal insertion choice
     std::uint32_t lineShift = 0;  ///< log2(lineBytes)
     std::uint32_t setMask = 0;    ///< sets - 1
     std::uint32_t assocShift = 0; ///< log2(assoc)

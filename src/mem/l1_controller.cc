@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "faults/fault_injector.hh"
-#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/prefetcher.hh"
 #include "sim/log.hh"
 #include "sim/sim_error.hh"
 
@@ -361,7 +361,7 @@ L1Controller::L1Controller(int core_id, const L1Config &config,
       cfg(config),
       eq(event_queue),
       fabric(coherence_fabric),
-      array(config.geom),
+      array(config.geom, config.repl),
       mshr(config.mshrs),
       sb(config.storeBufferEntries)
 {

@@ -41,7 +41,7 @@ namespace cmpmem
 
 class FaultInjector;
 class L1Controller;
-class StreamPrefetcher;
+class Prefetcher;
 
 /** Classification of first-level accesses (for stats and energy). */
 enum class AccessKind : std::uint8_t
@@ -240,6 +240,9 @@ struct L1Config
      * regressions can pin both configurations.
      */
     bool fastPath = true;
+
+    /** Replacement policy of the tag array (DESIGN.md §15). */
+    ReplacementConfig repl;
 };
 
 /**
@@ -259,7 +262,7 @@ class L1Controller : public Diagnosable
                  CoherenceFabric &fabric);
 
     /** Attach a hardware prefetcher (CC model, when enabled). */
-    void setPrefetcher(StreamPrefetcher *pf) { prefetcher = pf; }
+    void setPrefetcher(Prefetcher *pf) { prefetcher = pf; }
 
     /**
      * Attach the runtime coherence checker: registers this cache's
@@ -453,7 +456,7 @@ class L1Controller : public Diagnosable
     CacheArray array;
     MshrFile mshr;
     StoreBuffer sb;
-    StreamPrefetcher *prefetcher = nullptr;
+    Prefetcher *prefetcher = nullptr;
     CoherenceChecker *checker = nullptr;
     Cycles snoopStallCycles = 0;
     MicroEntry micro;

@@ -1,0 +1,77 @@
+#include "prefetch/markov_prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/sim_error.hh"
+
+namespace cmpmem
+{
+
+MarkovPrefetcher::MarkovPrefetcher(const PrefetcherConfig &c) : cfg(c)
+{
+    if (cfg.markovRows == 0 ||
+        (cfg.markovRows & (cfg.markovRows - 1)) != 0)
+        throwSimError(SimErrorKind::Config,
+                      "Markov table rows must be a power of two (got %u)",
+                      cfg.markovRows);
+    if (cfg.markovSuccessors == 0)
+        throwSimError(SimErrorKind::Config,
+                      "Markov table needs at least one successor slot");
+    rows.resize(cfg.markovRows);
+}
+
+MarkovPrefetcher::Row &
+MarkovPrefetcher::rowFor(Addr line)
+{
+    return rows[std::size_t(line / cfg.lineBytes) &
+                (cfg.markovRows - 1)];
+}
+
+void
+MarkovPrefetcher::record(Addr from, Addr to)
+{
+    Row &row = rowFor(from);
+    if (!row.valid || row.tag != from) {
+        // Direct-mapped conflict (or cold row): retag and start over.
+        row.valid = true;
+        row.tag = from;
+        row.succ.clear();
+    }
+    auto it = std::find(row.succ.begin(), row.succ.end(), to);
+    if (it != row.succ.end())
+        row.succ.erase(it);
+    row.succ.insert(row.succ.begin(), to);
+    if (row.succ.size() > cfg.markovSuccessors)
+        row.succ.resize(cfg.markovSuccessors);
+    ++numTransitions;
+}
+
+std::vector<Addr>
+MarkovPrefetcher::predict(Addr line) const
+{
+    const Row &row = rows[std::size_t(line / cfg.lineBytes) &
+                          (cfg.markovRows - 1)];
+    if (!row.valid || row.tag != line)
+        return {};
+    return row.succ;
+}
+
+std::vector<Addr>
+MarkovPrefetcher::onMiss(Addr line)
+{
+    if (haveLast && lastMiss != line)
+        record(lastMiss, line);
+    lastMiss = line;
+    haveLast = true;
+    return predict(line);
+}
+
+std::vector<Addr>
+MarkovPrefetcher::onPrefetchHit(Addr line)
+{
+    // A correct prediction came true; chase the chain one hop
+    // further. The hit is not a miss, so nothing is recorded.
+    return predict(line);
+}
+
+} // namespace cmpmem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Markov (miss-correlation) prefetcher, after Joseph & Grunwald: a
+ * table maps a miss address to the most recent miss addresses that
+ * followed it, and a miss prefetches the learned successors. Unlike
+ * the sequential stream engine it can cover pointer-chasing and
+ * other repeating non-sequential miss chains.
+ */
+
+#ifndef CMPMEM_PREFETCH_MARKOV_PREFETCHER_HH
+#define CMPMEM_PREFETCH_MARKOV_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace cmpmem
+{
+
+/**
+ * The correlation table is direct-mapped with markovRows rows (a
+ * power of two; rows are indexed by line number), each holding the
+ * tag plus up to markovSuccessors successor lines in MRU order.
+ * Everything is a deterministic function of the miss sequence.
+ */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const PrefetcherConfig &cfg);
+
+    /** Record the lastMiss -> @p line transition, then predict. */
+    std::vector<Addr> onMiss(Addr line) override;
+
+    /** Chase the chain one hop further on a tagged first use. */
+    std::vector<Addr> onPrefetchHit(Addr line) override;
+
+    const PrefetcherConfig &config() const { return cfg; }
+
+    std::uint64_t transitionsRecorded() const { return numTransitions; }
+
+  private:
+    struct Row
+    {
+        bool valid = false;
+        Addr tag = 0;            ///< the miss line this row describes
+        std::vector<Addr> succ;  ///< successors, MRU first
+    };
+
+    Row &rowFor(Addr line);
+    void record(Addr from, Addr to);
+    std::vector<Addr> predict(Addr line) const;
+
+    PrefetcherConfig cfg;
+    std::vector<Row> rows;
+    Addr lastMiss = 0;
+    bool haveLast = false;
+    std::uint64_t numTransitions = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_PREFETCH_MARKOV_PREFETCHER_HH

@@ -1,0 +1,25 @@
+#include "prefetch/prefetcher.hh"
+
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/stream_buffer_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/sim_error.hh"
+
+namespace cmpmem
+{
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetchPolicy policy, const PrefetcherConfig &cfg)
+{
+    switch (policy) {
+      case PrefetchPolicy::Stream:
+        return std::make_unique<StreamPrefetcher>(cfg);
+      case PrefetchPolicy::Markov:
+        return std::make_unique<MarkovPrefetcher>(cfg);
+      case PrefetchPolicy::StreamBuffer:
+        return std::make_unique<StreamBufferPrefetcher>(cfg);
+    }
+    throwSimError(SimErrorKind::Config, "unknown prefetch policy");
+}
+
+} // namespace cmpmem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The hardware-prefetcher interface and policy selector
+ * (DESIGN.md §15).
+ *
+ * The L1 controller is algorithm-agnostic: it feeds the engine
+ * demand misses and first-use hits on prefetched lines (the "tag" of
+ * tagged prefetching) and issues whatever line addresses come back.
+ * Three algorithms implement the interface:
+ *
+ *  - Stream (stream_prefetcher.hh): the paper's tagged sequential
+ *    prefetcher after Vanderwiel & Lilja — two sequential misses
+ *    establish a stream that runs `depth` lines ahead.
+ *  - Markov (markov_prefetcher.hh): a correlation table mapping a
+ *    miss address to its most recent successor misses; prefetches
+ *    the learned successors, which also covers non-sequential
+ *    pointer-chasing patterns.
+ *  - StreamBuffer (stream_buffer_prefetcher.hh): Jouppi-style
+ *    miss-side stream buffers that allocate on *every* miss (no
+ *    two-miss confirmation) and each run one FIFO of consecutive
+ *    lines ahead.
+ */
+
+#ifndef CMPMEM_PREFETCH_PREFETCHER_HH
+#define CMPMEM_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/** Which prefetch algorithm a cache level runs. */
+enum class PrefetchPolicy : std::uint8_t
+{
+    Stream,       ///< tagged sequential streams (the paper's engine)
+    Markov,       ///< miss-correlation table
+    StreamBuffer, ///< Jouppi miss-side stream buffers
+};
+
+inline const char *
+to_string(PrefetchPolicy p)
+{
+    switch (p) {
+      case PrefetchPolicy::Stream: return "stream";
+      case PrefetchPolicy::Markov: return "markov";
+      case PrefetchPolicy::StreamBuffer: return "stream_buffer";
+    }
+    return "?";
+}
+
+/** Parse a policy name; @return false when @p s is not a policy. */
+inline bool
+parsePrefetchPolicy(const std::string &s, PrefetchPolicy &out)
+{
+    for (PrefetchPolicy p :
+         {PrefetchPolicy::Stream, PrefetchPolicy::Markov,
+          PrefetchPolicy::StreamBuffer}) {
+        if (s == to_string(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Sizing knobs shared by the prefetch engines. */
+struct PrefetcherConfig
+{
+    std::uint32_t lineBytes = 32;
+
+    // Stream (tagged sequential) engine.
+    std::uint32_t historyEntries = 8;
+    std::uint32_t streams = 4;
+    std::uint32_t depth = 4; ///< lines to run ahead of the latest miss
+
+    // Markov correlation table.
+    std::uint32_t markovRows = 256;    ///< direct-mapped; power of two
+    std::uint32_t markovSuccessors = 2; ///< successors kept per row
+
+    // Jouppi stream buffers.
+    std::uint32_t streamBuffers = 4;
+    std::uint32_t streamBufferDepth = 4; ///< lines buffered per stream
+};
+
+/**
+ * The prefetch engine for one cache. Implementations must be
+ * deterministic pure state machines over their inputs: the simulator
+ * is bit-reproducible, so no host time, no unseeded randomness.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * A demand miss on @p line occurred. @return lines to prefetch.
+     */
+    virtual std::vector<Addr> onMiss(Addr line) = 0;
+
+    /**
+     * A demand access hit a line the prefetcher installed (tagged
+     * first use). @return lines to prefetch.
+     */
+    virtual std::vector<Addr> onPrefetchHit(Addr line) = 0;
+};
+
+/** Build the engine selected by @p policy. */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetchPolicy policy,
+                                           const PrefetcherConfig &cfg);
+
+} // namespace cmpmem
+
+#endif // CMPMEM_PREFETCH_PREFETCHER_HH

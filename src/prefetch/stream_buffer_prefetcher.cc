@@ -1,0 +1,83 @@
+#include "prefetch/stream_buffer_prefetcher.hh"
+
+#include "sim/sim_error.hh"
+
+namespace cmpmem
+{
+
+StreamBufferPrefetcher::StreamBufferPrefetcher(const PrefetcherConfig &c)
+    : cfg(c)
+{
+    if (cfg.streamBuffers == 0 || cfg.streamBufferDepth == 0)
+        throwSimError(SimErrorKind::Config,
+                      "stream buffers need at least one buffer of "
+                      "depth one");
+    buffers.resize(cfg.streamBuffers);
+}
+
+void
+StreamBufferPrefetcher::topUp(Buffer &b, std::vector<Addr> &out)
+{
+    Addr limit = b.head + Addr(cfg.streamBufferDepth) * cfg.lineBytes;
+    while (b.nextFill < limit) {
+        out.push_back(b.nextFill);
+        b.nextFill += cfg.lineBytes;
+    }
+    b.lastUse = ++useClock;
+}
+
+StreamBufferPrefetcher::Buffer *
+StreamBufferPrefetcher::bufferAt(Addr line)
+{
+    for (auto &b : buffers) {
+        if (b.valid && b.head == line)
+            return &b;
+    }
+    return nullptr;
+}
+
+std::vector<Addr>
+StreamBufferPrefetcher::onMiss(Addr line)
+{
+    std::vector<Addr> out;
+
+    // A miss landing on a buffer head means the buffered line was
+    // displaced before use; keep the stream alive and advance.
+    if (Buffer *b = bufferAt(line)) {
+        b->head = line + cfg.lineBytes;
+        topUp(*b, out);
+        return out;
+    }
+
+    // Jouppi allocation: every other miss claims the LRU buffer and
+    // starts fetching the lines that follow it.
+    Buffer *pick = &buffers[0];
+    for (auto &b : buffers) {
+        if (!b.valid) {
+            pick = &b;
+            break;
+        }
+        if (b.lastUse < pick->lastUse)
+            pick = &b;
+    }
+    pick->valid = true;
+    pick->head = line + cfg.lineBytes;
+    pick->nextFill = line + cfg.lineBytes;
+    ++numAllocated;
+    topUp(*pick, out);
+    return out;
+}
+
+std::vector<Addr>
+StreamBufferPrefetcher::onPrefetchHit(Addr line)
+{
+    std::vector<Addr> out;
+    if (Buffer *b = bufferAt(line)) {
+        b->head = line + cfg.lineBytes;
+        topUp(*b, out);
+    }
+    // No owning buffer (replaced since the fill): ignore.
+    return out;
+}
+
+} // namespace cmpmem

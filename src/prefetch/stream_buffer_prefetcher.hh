@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Jouppi-style miss-side stream buffers. Where the tagged sequential
+ * engine waits for two sequential misses to confirm a stream, stream
+ * buffers allocate on *every* miss: each buffer runs a FIFO of
+ * consecutive lines ahead of its allocation point, and a hit at the
+ * buffer head advances the FIFO by one line. Aggressive on truly
+ * sequential code, wasteful on random misses — exactly the trade-off
+ * the policy sweep is meant to expose.
+ */
+
+#ifndef CMPMEM_PREFETCH_STREAM_BUFFER_PREFETCHER_HH
+#define CMPMEM_PREFETCH_STREAM_BUFFER_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace cmpmem
+{
+
+/**
+ * streamBuffers buffers, LRU-allocated, each streamBufferDepth lines
+ * deep. The buffered lines live in the cache (flagged prefetched),
+ * so a buffer here is head/tail bookkeeping, not storage.
+ */
+class StreamBufferPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamBufferPrefetcher(const PrefetcherConfig &cfg);
+
+    /**
+     * Hit at a buffer head advances it; any other miss (re)allocates
+     * the LRU buffer one line past the miss. @return lines to fetch.
+     */
+    std::vector<Addr> onMiss(Addr line) override;
+
+    /** First use of a buffered line: advance the owning buffer. */
+    std::vector<Addr> onPrefetchHit(Addr line) override;
+
+    const PrefetcherConfig &config() const { return cfg; }
+
+    std::uint64_t buffersAllocated() const { return numAllocated; }
+
+  private:
+    struct Buffer
+    {
+        bool valid = false;
+        Addr head = 0;     ///< next line the demand stream should use
+        Addr nextFill = 0; ///< next line to fetch into the buffer
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Advance @p b so nextFill stays depth lines past head. */
+    void topUp(Buffer &b, std::vector<Addr> &out);
+
+    /** Head match for @p line, or nullptr. */
+    Buffer *bufferAt(Addr line);
+
+    PrefetcherConfig cfg;
+    std::vector<Buffer> buffers;
+    std::uint64_t useClock = 0;
+    std::uint64_t numAllocated = 0;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_PREFETCH_STREAM_BUFFER_PREFETCHER_HH

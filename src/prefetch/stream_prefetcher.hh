@@ -10,31 +10,23 @@
 #ifndef CMPMEM_PREFETCH_STREAM_PREFETCHER_HH
 #define CMPMEM_PREFETCH_STREAM_PREFETCHER_HH
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "prefetch/prefetcher.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
 {
 
-struct PrefetcherConfig
-{
-    std::uint32_t lineBytes = 32;
-    std::uint32_t historyEntries = 8;
-    std::uint32_t streams = 4;
-    std::uint32_t depth = 4; ///< lines to run ahead of the latest miss
-};
-
 /**
- * The prefetch engine for one L1 cache.
+ * The paper's prefetch engine (PrefetchPolicy::Stream).
  *
  * The controller feeds it demand misses and first-use hits on
  * prefetched lines (the "tag" in tagged prefetching); it returns the
  * line addresses to fetch.
  */
-class StreamPrefetcher
+class StreamPrefetcher : public Prefetcher
 {
   public:
     explicit StreamPrefetcher(const PrefetcherConfig &cfg);
@@ -42,13 +34,13 @@ class StreamPrefetcher
     /**
      * A demand miss on @p line occurred. @return lines to prefetch.
      */
-    std::vector<Addr> onMiss(Addr line);
+    std::vector<Addr> onMiss(Addr line) override;
 
     /**
      * A demand access hit a line the prefetcher installed; advance
      * the owning stream. @return lines to prefetch.
      */
-    std::vector<Addr> onPrefetchHit(Addr line);
+    std::vector<Addr> onPrefetchHit(Addr line) override;
 
     const PrefetcherConfig &config() const { return cfg; }
 
