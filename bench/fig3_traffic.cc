@@ -37,7 +37,7 @@ main(int argc, char **argv)
                         {{"workload", name}, {"model", to_string(m)}}});
         }
     }
-    SweepResult res = runSweep(spec);
+    SweepResult res = runBenchSweep(spec);
 
     TextTable table({"Application", "model", "read", "write", "total",
                      "verified"});

@@ -44,7 +44,7 @@ main(int argc, char **argv)
             }
         }
     }
-    SweepResult res = runSweep(spec);
+    SweepResult res = runBenchSweep(spec);
 
     for (const char *name : {"mpeg2", "fir", "bitonic"}) {
         const RunResult &base =

@@ -205,7 +205,8 @@ main(int argc, char **argv)
     // each other.
     SweepOptions opts;
     opts.jobs = 1;
-    SweepResult res = runJobs("micro_access", std::move(jobs), opts);
+    SweepResult res =
+        runBenchJobs("micro_access", std::move(jobs), opts);
 
     TextTable table({"job", "accesses", "host ms", "accesses/sec",
                      "fastpath hits", "events/sec"});

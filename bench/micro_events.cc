@@ -239,7 +239,8 @@ main(int argc, char **argv)
     // each other.
     SweepOptions opts;
     opts.jobs = 1;
-    SweepResult res = runJobs("micro_events", std::move(jobs), opts);
+    SweepResult res =
+        runBenchJobs("micro_events", std::move(jobs), opts);
 
     TextTable table({"job", "events", "host ms", "events/sec",
                      "peak pending", "overflows", "shift"});

@@ -48,7 +48,7 @@ main(int argc, char **argv)
         .workloads(wl)
         .modelAxis()
         .policyAxis();
-    SweepResult res = runSweep(spec);
+    SweepResult res = runBenchSweep(spec);
 
     TextTable table({"Workload", "Model", "Policy", "L1 D-miss",
                      "L2 D-miss", "Exec ms", "Prefetch useful",

@@ -5,16 +5,36 @@
 # repository root.
 #
 # Knobs (environment):
-#   CMPMEM_SCALE   workload scale factor (default 1; 0 = smoke size)
-#   CMPMEM_JOBS    sweep worker count (default: hardware concurrency)
+#   CMPMEM_SCALE     workload scale factor (default 1; 0 = smoke size)
+#   CMPMEM_JOBS      sweep worker count (default: hardware concurrency)
+#   CMPMEM_ISOLATE   1 = run every sweep job in a forked sandbox
+#                    (DESIGN.md §16)
 #
-# Usage: scripts/bench.sh [jobs]   # jobs = build parallelism
+# Flags:
+#   --resume   pick up where a killed run left off: each sweep merges
+#              completed jobs from its write-ahead journal
+#              (BENCH_<name>.journal.jsonl) instead of re-running
+#              them. The merged artifact is bit-identical to an
+#              uninterrupted run's.
+#
+# Usage: scripts/bench.sh [--resume] [jobs]   # jobs = build parallelism
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 root="$PWD"
-jobs="${1:-$(nproc)}"
+resume=0
+jobs="$(nproc)"
+for arg in "$@"; do
+    case "${arg}" in
+        --resume) resume=1 ;;
+        [0-9]*) jobs="${arg}" ;;
+        *)
+            echo "usage: scripts/bench.sh [--resume] [jobs]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 benches=(
     table3
@@ -46,7 +66,13 @@ export CMPMEM_ARTIFACT_DIR="${root}"
 for b in "${benches[@]}"; do
     echo
     echo "==> ${b}"
-    "build/bench/${b}"
+    flags=()
+    # microbench is a google-benchmark binary with its own CLI; the
+    # sweep flags belong to the parseBenchArgs() benches only.
+    if [[ "${resume}" -eq 1 && "${b}" != "microbench" ]]; then
+        flags+=(--resume)
+    fi
+    "build/bench/${b}" ${flags[@]+"${flags[@]}"}
 done
 
 echo

@@ -12,8 +12,11 @@
 # bench, run serially and only in the unsanitized tree), then the
 # strict perf-regression gate (3 repeats of each baselined bench,
 # compared bit-for-bit and median-throughput against baselines/ via
-# bench_compare; DESIGN.md §14), then builds and runs everything
-# again under AddressSanitizer + UBSan (CMPMEM_SANITIZE=ON), and
+# bench_compare; DESIGN.md §14), then re-runs the sweep and
+# supervisor suites with CMPMEM_ISOLATE=1 (every job in a forked
+# sandbox, plus the kill-then-resume gate; DESIGN.md §16), then
+# builds and runs everything again under AddressSanitizer + UBSan
+# (CMPMEM_SANITIZE=ON), and
 # finishes with a widened fault-injection stress pass
 # (CMPMEM_FAULT_SCALE=2) in the sanitizer tree — the recovery paths
 # (ECC re-reads, NACK/DMA retries, watchdog kills) are exactly where
@@ -72,6 +75,10 @@ run_bench_pinned() {
     mkdir -p "${dir}"
     CMPMEM_SCALE=0 CMPMEM_BENCH_SCALE=1 CMPMEM_ARTIFACT_DIR="${dir}" \
         "build/bench/${bench}" >/dev/null
+    # The write-ahead journal (DESIGN.md §16) is run-local scratch,
+    # not an artifact: never let it ride into baselines/ or a gate
+    # directory diff.
+    rm -f "${dir}/BENCH_${bench}.journal.jsonl"
 }
 
 if [[ "${update}" -eq 1 ]]; then
@@ -111,6 +118,14 @@ if [[ "${full}" -eq 1 ]]; then
         build/bench/bench_compare --host-mode=strict --annotate \
             "baselines/BENCH_${bench}.json" "${fresh[@]}"
     done
+    echo "==> isolation pass (Release, CMPMEM_ISOLATE=1)"
+    # Re-run the sweep-engine and supervisor suites with every job in
+    # a forked sandbox: the §16 contract says sandboxed execution is
+    # bit-identical and the whole determinism story must hold through
+    # the process boundary. This includes gate_resume_table3, the
+    # kill-then-resume bench gate.
+    CMPMEM_ISOLATE=1 ctest --test-dir build --output-on-failure \
+        -j "${jobs}" -R 'test_sweep|test_supervisor|gate_resume'
     run_config build-sanitize "-LE perf" -DCMAKE_BUILD_TYPE=Release \
         -DCMPMEM_SANITIZE=ON
     echo "==> policy smoke sweep (sanitized, one workload, all points)"

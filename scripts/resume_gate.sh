@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+#
+# Kill-then-resume gate (DESIGN.md §16): prove that a sweep SIGKILLed
+# mid-run resumes from its write-ahead journal to an artifact
+# bit-identical to an uninterrupted run.
+#
+#   1. Run the bench uninterrupted (reference artifact).
+#   2. Start it again isolated (--isolate), SIGKILL the process
+#      after a short head start, leaving a partial journal.
+#   3. Re-run with --isolate --resume: journaled jobs merge, the
+#      rest execute.
+#   4. bench_compare --host-mode=off must find the resumed artifact
+#      bit-identical (stats, digests, energy, config) to the
+#      reference.
+#
+# The kill lands wherever it lands: before the first record, mid
+# sweep, or after completion — resume must produce the identical
+# artifact in every case, so the gate does not need to control the
+# race, only report it.
+#
+# Usage: scripts/resume_gate.sh <bench-exe> <compare-exe> <workdir>
+
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+    echo "usage: $0 <bench-exe> <compare-exe> <workdir>" >&2
+    exit 2
+fi
+
+bench="$1"
+compare="$2"
+work="$3"
+name="$(basename "${bench}")"
+
+# Pinned deterministic sizing, same as the perf gate.
+export CMPMEM_SCALE=0
+
+rm -rf "${work}"
+mkdir -p "${work}/ref" "${work}/int"
+
+echo "==> ${name}: uninterrupted reference run"
+CMPMEM_ARTIFACT_DIR="${work}/ref" "${bench}" >/dev/null
+
+echo "==> ${name}: isolated run, killed mid-sweep"
+CMPMEM_ARTIFACT_DIR="${work}/int" "${bench}" --isolate \
+    >/dev/null 2>&1 &
+victim=$!
+sleep 1.2
+kill -KILL "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+
+journal="${work}/int/BENCH_${name}.journal.jsonl"
+if [[ -f "${journal}" ]]; then
+    # Header + N records; report how far the run got before dying.
+    records=$(($(wc -l < "${journal}") - 1))
+    echo "    journal survived the kill with ${records} completed job(s)"
+else
+    echo "    killed before the journal existed (resume runs the full sweep)"
+fi
+
+echo "==> ${name}: resuming"
+CMPMEM_ARTIFACT_DIR="${work}/int" "${bench}" --isolate --resume \
+    >/dev/null
+
+echo "==> ${name}: comparing resumed artifact against the reference"
+"${compare}" --host-mode=off \
+    "${work}/ref/BENCH_${name}.json" \
+    "${work}/int/BENCH_${name}.json"
+
+echo "==> ${name}: kill-then-resume bit-identical"

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "harness/table.hh"
 #include "sim/log.hh"
+#include "sim/sim_error.hh"
 
 namespace cmpmem
 {
@@ -16,6 +18,10 @@ namespace
 /** Process-wide overrides from parseBenchArgs(). */
 FaultConfig benchFaults;
 WatchdogConfig benchWatchdog;
+bool benchIsolate = false;
+bool benchResume = false;
+int benchRetries = 1;
+double benchDeadline = 0;
 
 } // namespace
 
@@ -32,9 +38,18 @@ parseBenchArgs(int argc, char **argv)
         } else if (std::strncmp(arg, "--watchdog-ticks=", 17) == 0) {
             benchWatchdog.maxTicks =
                 std::strtoull(arg + 17, nullptr, 0);
+        } else if (std::strcmp(arg, "--isolate") == 0) {
+            benchIsolate = true;
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            benchResume = true;
+        } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+            benchRetries = std::atoi(arg + 10);
+        } else if (std::strncmp(arg, "--deadline=", 11) == 0) {
+            benchDeadline = std::strtod(arg + 11, nullptr);
         } else {
             fatal("%s: unknown argument '%s' (supported: "
-                  "--faults[=SEED], --watchdog-ticks=N)",
+                  "--faults[=SEED], --watchdog-ticks=N, --isolate, "
+                  "--resume, --retries=N, --deadline=SECS)",
                   argv[0], arg);
         }
     }
@@ -109,6 +124,35 @@ benchIters(std::uint64_t base)
     const std::uint64_t factor = scale <= 0 ? 1 : 20 * std::uint64_t(scale);
     const std::uint64_t iters = base * factor / benchScaleDivisor();
     return iters ? iters : 1;
+}
+
+SweepResult
+runBenchJobs(const std::string &name, std::vector<SweepJob> jobs,
+             SweepOptions opts)
+{
+    if (benchIsolate)
+        opts.isolate = SweepIsolate::On;
+    if (benchResume)
+        opts.resume = true;
+    if (benchRetries > 0 && opts.maxRetries == 0)
+        opts.maxRetries = benchRetries;
+    if (benchDeadline > 0 && opts.jobDeadlineSeconds <= 0)
+        opts.jobDeadlineSeconds = benchDeadline;
+    if (opts.journalPath.empty())
+        opts.journalPath = journalPath(name);
+    try {
+        return runJobs(name, std::move(jobs), opts);
+    } catch (const SimError &e) {
+        // Resume refusal (journal identity mismatch) and similar
+        // harness-level Config errors: CLI misuse, not a bug.
+        fatal("%s", e.what());
+    }
+}
+
+SweepResult
+runBenchSweep(const SweepSpec &spec, SweepOptions opts)
+{
+    return runBenchJobs(spec.name(), spec.expand(), std::move(opts));
 }
 
 int

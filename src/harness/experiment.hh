@@ -36,6 +36,15 @@ SystemConfig makeConfig(int cores, MemModel model, double ghz = 0.8,
  *                        (default 1); see DESIGN.md section 11
  *   --watchdog-ticks=N   guard every run with an N-simulated-tick
  *                        liveness budget
+ *   --isolate            run every job in a forked sandbox process
+ *                        (same as CMPMEM_ISOLATE=1; DESIGN.md §16)
+ *   --resume             merge completed jobs from the sweep's
+ *                        write-ahead journal instead of re-running
+ *                        them
+ *   --retries=N          re-dispatch a crashed/timed-out sandbox up
+ *                        to N extra times (default 1)
+ *   --deadline=SECS      hard per-job wall-clock deadline enforced
+ *                        with SIGKILL (isolation only; default none)
  *
  * Unknown arguments are fatal so typos don't silently run the
  * default experiment. Call it first thing in main().
@@ -99,6 +108,19 @@ std::uint64_t benchIters(std::uint64_t base);
  * (0 unless a job failed to execute).
  */
 int finishBench(const SweepResult &res);
+
+/**
+ * runSweep()/runJobs() with the process-wide bench options folded
+ * in: --isolate/--resume/--retries/--deadline from parseBenchArgs(),
+ * plus a write-ahead journal at journalPath(name) (fresh unless
+ * resuming). A resume refusal (SimErrorKind::Config) is fatal()ed
+ * with its message instead of escaping main(). Every bench main
+ * calls these instead of the raw engine entry points.
+ */
+SweepResult runBenchSweep(const SweepSpec &spec, SweepOptions opts = {});
+SweepResult runBenchJobs(const std::string &name,
+                         std::vector<SweepJob> jobs,
+                         SweepOptions opts = {});
 
 } // namespace cmpmem
 

@@ -6,11 +6,13 @@
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "harness/experiment.hh"
+#include "harness/supervisor.hh"
 #include "harness/table.hh"
 #include "sim/log.hh"
 #include "sim/sim_error.hh"
@@ -60,8 +62,10 @@ jbool(bool b)
     return b ? "true" : "false";
 }
 
+} // namespace
+
 std::string
-configJson(const SystemConfig &cfg)
+configIdentityJson(const SystemConfig &cfg)
 {
     std::string out = "{";
     out += "\"cores\": " + fmt("%d", cfg.cores);
@@ -91,6 +95,9 @@ configJson(const SystemConfig &cfg)
     return out;
 }
 
+namespace
+{
+
 std::string
 energyJson(const EnergyBreakdown &e)
 {
@@ -106,13 +113,18 @@ energyJson(const EnergyBreakdown &e)
     return out;
 }
 
+} // namespace
+
 JobResult
-runOneJob(const SweepJob &job, const SweepOptions &opts)
+runJobInProcess(const SweepJob &job, const SweepOptions &opts,
+                const LogSink &log_sink)
 {
     JobResult jr;
     jr.job = job;
 
     LogCapture capture;
+    if (log_sink)
+        capture.setSink(log_sink);
     double t0 = threadCpuSeconds();
     try {
         if (job.run) {
@@ -150,8 +162,6 @@ runOneJob(const SweepJob &job, const SweepOptions &opts)
     jr.log = capture.drain();
     return jr;
 }
-
-} // namespace
 
 // ---------------------------------------------------------------- //
 // SweepSpec                                                        //
@@ -443,13 +453,19 @@ SweepResult::toJson() const
             out += jstr(k) + ": " + jstr(v);
         }
         out += "},\n";
-        out += "      \"config\": " + configJson(jr.job.cfg) + ",\n";
+        out += "      \"config\": " + configIdentityJson(jr.job.cfg) +
+               ",\n";
         out += "      \"ran\": " + jbool(jr.ran) + ",\n";
+        // Host-side dispatch bookkeeping, excluded from identity
+        // comparison like host_seconds (DESIGN.md §16).
+        out += "      \"attempts\": " + fmt("%d", jr.attempts) + ",\n";
         if (!jr.error.empty()) {
             out += "      \"error\": {\"kind\": " +
                    jstr(jr.errorKind.empty() ? "exception"
                                              : jr.errorKind) +
                    ", \"message\": " + jstr(jr.error);
+            if (!jr.signal.empty())
+                out += ", \"signal\": " + jstr(jr.signal);
             if (!jr.diagnostic.empty())
                 out += ", \"diagnostic\": " + jstr(jr.diagnostic);
             out += "},\n";
@@ -511,6 +527,14 @@ artifactPath(const std::string &name)
     const char *dir = std::getenv("CMPMEM_ARTIFACT_DIR");
     std::string base = (dir && *dir) ? dir : ".";
     return base + "/BENCH_" + name + ".json";
+}
+
+std::string
+journalPath(const std::string &name)
+{
+    const char *dir = std::getenv("CMPMEM_ARTIFACT_DIR");
+    std::string base = (dir && *dir) ? dir : ".";
+    return base + "/BENCH_" + name + ".journal.jsonl";
 }
 
 SweepResult
@@ -575,15 +599,62 @@ runJobs(std::string name, std::vector<SweepJob> jobs,
         int(std::min<std::size_t>(std::size_t(sweepWorkerCount(opts.jobs)),
                                   std::max<std::size_t>(n, 1)));
 
+    // Resume: merge journaled completions before dispatch. load()
+    // throws SimErrorKind::Config on identity mismatch — a changed
+    // sweep must not silently absorb stale results.
+    std::map<std::string, JobResult> resumed;
+    if (opts.resume) {
+        if (opts.journalPath.empty()) {
+            warn("sweep %s: resume requested but no journal path is "
+                 "set; running the full sweep",
+                 name.c_str());
+        } else {
+            resumed = SweepJournal::load(opts.journalPath, name, jobs);
+            if (!resumed.empty()) {
+                inform("sweep %s: resuming — %zu of %zu jobs merged "
+                       "from %s",
+                       name.c_str(), resumed.size(), n,
+                       opts.journalPath.c_str());
+            }
+        }
+    }
+
+    std::unique_ptr<SweepJournal> journal;
+    if (!opts.journalPath.empty()) {
+        journal = std::make_unique<SweepJournal>(
+            opts.journalPath, name, /*fresh=*/!opts.resume);
+    }
+
+    const bool isolate = isolationEnabled(opts);
+
     std::vector<JobResult> results(n);
+    std::vector<char> preloaded(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto it = resumed.find(jobs[i].id);
+        if (it == resumed.end())
+            continue;
+        results[i] = std::move(it->second);
+        preloaded[i] = 1;
+    }
+
     auto wall0 = std::chrono::steady_clock::now();
     {
         std::mutex m;
         std::condition_variable cv;
         std::deque<std::size_t> ready;
         std::size_t completed = 0;
+        // Journal-merged jobs are already complete: they satisfy
+        // their dependents' ordering constraints without dispatch
+        // (and their logs are not re-echoed).
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!preloaded[i])
+                continue;
+            ++completed;
+            for (std::size_t d : dependents[i])
+                --remaining[d];
+        }
         for (std::size_t i = 0; i < n; ++i)
-            if (remaining[i] == 0)
+            if (!preloaded[i] && remaining[i] == 0)
                 ready.push_back(i);
 
         auto workerLoop = [&] {
@@ -598,7 +669,15 @@ runJobs(std::string name, std::vector<SweepJob> jobs,
                 ready.pop_front();
                 lock.unlock();
 
-                JobResult jr = runOneJob(jobs[i], opts);
+                JobResult jr = isolate
+                                   ? runJobSupervised(jobs[i], opts)
+                                   : runJobInProcess(jobs[i], opts);
+                // Journal before reporting: the record must be
+                // durable by the time anything downstream can
+                // observe the job as done (record() has its own
+                // lock and fsyncs).
+                if (journal && SweepJournal::eligible(jr))
+                    journal->record(jr);
                 if (opts.echoLogs && !jr.log.empty()) {
                     emitRaw("--- log from sweep job '" + jobs[i].id +
                             "' ---\n" + jr.log);

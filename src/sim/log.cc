@@ -15,14 +15,6 @@ namespace
 
 std::atomic<bool> quietMode{false};
 
-/** Serializes direct stderr writes across sweep worker threads. */
-std::mutex &
-logMutex()
-{
-    static std::mutex m;
-    return m;
-}
-
 thread_local LogCapture *tlsCapture = nullptr;
 
 /** One locked, line-atomic write to stderr. */
@@ -58,6 +50,14 @@ vlogFatal(const char *tag, const char *fmt, std::va_list ap)
 }
 
 } // namespace
+
+/** Serializes direct stderr writes across sweep worker threads. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::string
 vstrformat(const char *fmt, std::va_list ap)
@@ -113,10 +113,19 @@ LogCapture::drain()
 void
 LogCapture::append(const char *tag, const std::string &msg)
 {
-    buf += tag;
-    buf += ": ";
-    buf += msg;
-    buf += '\n';
+    std::string line = tag;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    buf += line;
+    if (sink)
+        sink(line);
+}
+
+void
+LogCapture::setSink(std::function<void(const std::string &)> s)
+{
+    sink = std::move(s);
 }
 
 void

@@ -17,6 +17,8 @@ to_string(SimErrorKind kind)
       case SimErrorKind::Watchdog: return "watchdog";
       case SimErrorKind::Fault: return "fault";
       case SimErrorKind::Check: return "check";
+      case SimErrorKind::Crash: return "crash";
+      case SimErrorKind::Timeout: return "timeout";
     }
     return "unknown";
 }

@@ -23,6 +23,15 @@
  *  - Fault:    an injected fault exhausted its recovery budget
  *              (uncorrectable ECC, NACK/DMA retry limit).
  *  - Check:    the runtime MESI checker failed fast on a violation.
+ *  - Crash:    a sandboxed sweep child died without reporting a
+ *              result (signal, nonzero exit, torn pipe). Only the
+ *              supervisor (harness/supervisor.hh) classifies this
+ *              kind — simulation code cannot observe its own crash.
+ *  - Timeout:  the supervisor's hard wall-clock deadline expired and
+ *              the child was SIGKILLed. Distinct from Watchdog: the
+ *              watchdog is cooperative and runs inside the child;
+ *              the deadline covers hangs the child cannot interrupt
+ *              (wedged host loops, stuck syscalls).
  */
 
 #ifndef CMPMEM_SIM_SIM_ERROR_HH
@@ -42,6 +51,8 @@ enum class SimErrorKind
     Watchdog,
     Fault,
     Check,
+    Crash,
+    Timeout,
 };
 
 /** Lower-case kind tag, as recorded in sweep JSON artifacts. */

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deliberately fatal workloads ("crash", "hostspin").
+ *
+ * Not paper applications: these exist to exercise the process
+ * sandbox (harness/supervisor.hh). Neither can be handled by the
+ * in-process failure machinery — that is the point:
+ *
+ *  - "crash" raises SIGSEGV from core 0's kernel after a few real
+ *    simulation events. No exception is thrown, so without a process
+ *    boundary the whole sweep dies. The handler is first reset to
+ *    SIG_DFL so the raise terminates the process even under
+ *    AddressSanitizer (which installs its own SEGV reporter).
+ *
+ *  - "hostspin" wedges *host* time inside one event callback: the
+ *    coroutine body spins on the host clock without scheduling
+ *    simulated work, so the cooperative watchdog (which runs between
+ *    events) never gets control. Only the supervisor's hard
+ *    wall-clock SIGKILL can stop it. The spin gives up after 300
+ *    host seconds and throws SimErrorKind::Model, so a missed kill
+ *    fails tests by error kind instead of hanging ctest forever.
+ *
+ * Both are registered hidden: creatable via createWorkload(),
+ * invisible to workloadNames(), so table/figure sweeps never
+ * iterate them.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <memory>
+
+#include "sim/sim_error.hh"
+#include "workloads/factories.hh"
+#include "workloads/kernels_common.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+class CrashWorkload : public Workload
+{
+  public:
+    explicit CrashWorkload(const WorkloadParams &p) : Workload(p) {}
+
+    std::string name() const override { return "crash"; }
+    std::string variant() const override { return "crash"; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        scratch = ArrayRef<std::uint32_t>::alloc(sys.mem(), 64);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        // A little genuine simulation first, so the crash lands
+        // mid-run (events executed, caches warm) rather than at
+        // time zero.
+        for (int i = 0; i < 8; ++i) {
+            co_await ctx.compute(Cycles(100));
+            co_await ctx.store<std::uint32_t>(scratch.at(i),
+                                              std::uint32_t(i));
+        }
+        if (ctx.tid() == 0) {
+            std::signal(SIGSEGV, SIG_DFL);
+            std::raise(SIGSEGV);
+        }
+        co_await ctx.compute(Cycles(1));
+    }
+
+    bool verify(CmpSystem &) override { return false; }
+
+  private:
+    ArrayRef<std::uint32_t> scratch;
+};
+
+class HostspinWorkload : public Workload
+{
+  public:
+    explicit HostspinWorkload(const WorkloadParams &p) : Workload(p) {}
+
+    std::string name() const override { return "hostspin"; }
+    std::string variant() const override { return "hostspin"; }
+
+    void
+    setup(CmpSystem &sys) override
+    {
+        scratch = ArrayRef<std::uint32_t>::alloc(sys.mem(), 64);
+    }
+
+    KernelTask
+    kernel(Context &ctx) override
+    {
+        co_await ctx.compute(Cycles(100));
+        if (ctx.tid() == 0) {
+            using clock = std::chrono::steady_clock;
+            const auto start = clock::now();
+            volatile std::uint64_t sink = 0;
+            for (;;) {
+                // Pure host burn inside one event callback: no
+                // co_await, so control never returns to the event
+                // loop and no cooperative budget can fire.
+                sink = sink + 1;
+                if ((sink & 0xfffff) == 0 &&
+                    clock::now() - start > std::chrono::seconds(300)) {
+                    throwSimError(SimErrorKind::Model,
+                                  "hostspin was not killed within "
+                                  "300 host seconds");
+                }
+            }
+        }
+        co_await ctx.compute(Cycles(1));
+    }
+
+    bool verify(CmpSystem &) override { return false; }
+
+  private:
+    ArrayRef<std::uint32_t> scratch;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCrash(const WorkloadParams &p)
+{
+    return std::make_unique<CrashWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeHostspin(const WorkloadParams &p)
+{
+    return std::make_unique<HostspinWorkload>(p);
+}
+
+} // namespace cmpmem

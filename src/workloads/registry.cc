@@ -43,6 +43,8 @@ constexpr Entry entries[] = {
 constexpr Entry hiddenEntries[] = {
     {"stress", &makeStress},
     {"hang", &makeHang},
+    {"crash", &makeCrash},
+    {"hostspin", &makeHostspin},
 };
 
 } // namespace

@@ -227,6 +227,34 @@ TEST(BenchCompare, HostFieldsAreExcludedFromIdentity)
     EXPECT_EQ(rep.exitCode(), 0);
 }
 
+TEST(BenchCompare, RetryBookkeepingIsExcludedFromIdentity)
+{
+    // attempts counts sandbox re-dispatches (DESIGN.md §16) — host
+    // scheduling noise, like host_seconds. A baseline recorded before
+    // the field existed must also still compare clean against fresh
+    // artifacts that carry it.
+    JsonValue base = makeArtifact();
+    JsonValue fresh = base;
+    for (const char *id : {"alpha", "beta"}) {
+        JsonValue &job = jobNamed(fresh, id);
+        job.set("attempts", JsonValue::makeNumber(3));
+    }
+    CompareReport rep = compareArtifacts(base, {fresh});
+    EXPECT_TRUE(rep.identityClean());
+    EXPECT_EQ(rep.exitCode(), 0);
+
+    std::string text = base.dump();
+    for (std::size_t pos = text.find("\"attempts\":");
+         pos != std::string::npos;
+         pos = text.find("\"attempts\":", pos)) {
+        std::size_t end = text.find(',', pos);
+        ASSERT_NE(end, std::string::npos);
+        text.erase(pos, end - pos + 1);
+    }
+    JsonValue old = JsonValue::parse(text);
+    EXPECT_TRUE(compareArtifacts(old, {fresh}).identityClean());
+}
+
 TEST(BenchCompare, ThroughputDropBeyondToleranceIsFlagged)
 {
     JsonValue base = makeArtifact();

@@ -327,6 +327,11 @@ TEST(SweepExecutor, DependencyOrderingHoldsUnderPool)
     SweepOptions opts;
     opts.jobs = 4;
     opts.echoLogs = false;
+    // The recorded order lives in this process's memory; a forked
+    // sandbox (CMPMEM_ISOLATE=1 in the environment) would strand the
+    // side effects in the child. Ordering semantics are isolation-
+    // independent, so pin the in-process path.
+    opts.isolate = SweepIsolate::Off;
     SweepResult res = runJobs("order", std::move(jobs), opts);
 
     EXPECT_TRUE(res.allRan());
@@ -358,6 +363,9 @@ TEST(SweepExecutor, FailingJobDoesNotPoisonSiblings)
     SweepOptions opts;
     opts.jobs = 2;
     opts.echoLogs = false;
+    // In-process side effects again (see above): keep the sandbox
+    // off so the sequence counters are observable.
+    opts.isolate = SweepIsolate::Off;
     SweepResult res = runJobs("fail", std::move(jobs), opts);
 
     EXPECT_TRUE(res.at("ok1").ran);
