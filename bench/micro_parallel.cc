@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel-engine microbenchmark (DESIGN.md §17): isolates the two
+ * host costs the intra-run sharding adds — window-barrier
+ * synchronization and shard imbalance — on synthetic compute kernels
+ * whose simulated stats are bit-identical at every hostThreads value
+ * (which is exactly what the perf gate pins).
+ *
+ * Jobs (all custom-run, deterministic):
+ *   barrier/j1, barrier/j4 - 16 balanced compute-only cores under a
+ *            deliberately short window (4 quanta), so the run is
+ *            dominated by window setup + barrier + replay machinery.
+ *            j4/j1 host-seconds is the barrier-overhead factor.
+ *   imbalance/j1, imbalance/j4 - core 0 carries 8x the compute of
+ *            the other 15 under the default window: the worst case
+ *            for shard load balance (every window waits on shard 0).
+ *
+ * CMPMEM_SCALE scales the compute rounds (0 = smoke);
+ * CMPMEM_BENCH_SCALE divides them (sanitized-tree TIMEOUT relief).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "cmpmem.hh"
+#include "core/context.hh"
+
+using namespace cmpmem;
+
+namespace
+{
+
+KernelTask
+computeRounds(Context &ctx, std::uint64_t rounds)
+{
+    for (std::uint64_t i = 0; i < rounds; ++i)
+        co_await ctx.compute(Cycles(100));
+}
+
+/**
+ * Run 16 compute-only cores, core 0 weighted by @p skew, at
+ * @p host_threads. The simulated machine is identical for every
+ * host_threads value, so each job's stats pin one deterministic
+ * point while host_seconds tracks the engine overhead.
+ */
+RunResult
+runCompute(int host_threads, std::uint64_t rounds, int skew,
+           Cycles window_cycles)
+{
+    double t0 = threadCpuSeconds();
+    auto w0 = std::chrono::steady_clock::now();
+
+    SystemConfig cfg = makeConfig(16, MemModel::CC);
+    cfg.hostThreads = host_threads;
+    cfg.hostWindowCycles = window_cycles;
+    CmpSystem sys(cfg);
+    for (int i = 0; i < cfg.cores; ++i) {
+        std::uint64_t r = i == 0 ? rounds * std::uint64_t(skew)
+                                 : rounds;
+        sys.bindKernel(i, computeRounds(sys.context(i), r));
+    }
+    sys.simulate();
+
+    RunResult result;
+    result.stats = sys.collectStats();
+    result.verified = true;
+    result.hostSeconds =
+        host_threads > 1
+            ? std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - w0)
+                  .count()
+            : threadCpuSeconds() - t0;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseBenchArgs(argc, argv);
+    std::printf("Parallel-engine microbenchmark (barrier overhead "
+                "and shard imbalance)\n\n");
+
+    const std::uint64_t rounds = benchIters(2000);
+    const SystemConfig tag_cfg = makeConfig(16, MemModel::CC);
+
+    std::vector<SweepJob> jobs;
+    for (int j : {1, 4}) {
+        jobs.emplace_back(
+            fmt("barrier/j%d", j), "", tag_cfg, WorkloadParams{},
+            std::vector<std::string>{},
+            std::map<std::string, std::string>{
+                {"job", "barrier"}, {"host_threads", fmt("%d", j)}},
+            [rounds, j] {
+                // 4-quanta windows: maximal barrier frequency.
+                return runCompute(j, rounds, 1, Cycles(400));
+            });
+    }
+    for (int j : {1, 4}) {
+        jobs.emplace_back(
+            fmt("imbalance/j%d", j), "", tag_cfg, WorkloadParams{},
+            std::vector<std::string>{},
+            std::map<std::string, std::string>{
+                {"job", "imbalance"}, {"host_threads", fmt("%d", j)}},
+            [rounds, j] {
+                return runCompute(j, rounds / 4, 8, Cycles(0));
+            });
+    }
+
+    // Serial on purpose: each job times the engine against the wall
+    // clock, and concurrent jobs would contend for the same host
+    // cores the sharded run is trying to use.
+    SweepOptions opts;
+    opts.jobs = 1;
+    SweepResult res =
+        runBenchJobs("micro_parallel", std::move(jobs), opts);
+
+    TextTable table({"job", "events", "host ms", "windows",
+                     "parallel", "barrier wait ms"});
+    for (const JobResult &jr : res.jobs()) {
+        table.addRow(
+            {jr.job.id,
+             fmt("%llu",
+                 (unsigned long long)jr.run.stats.eventsExecuted),
+             fmtF(jr.run.hostSeconds * 1e3, 2),
+             fmt("%llu", (unsigned long long)jr.run.stats.hostWindows),
+             fmt("%llu", (unsigned long long)
+                             jr.run.stats.hostParallelWindows),
+             fmtF(jr.run.stats.hostBarrierWaitSeconds * 1e3, 2)});
+    }
+    std::printf("%s", table.format().c_str());
+    return finishBench(res);
+}

@@ -16,7 +16,9 @@
 # supervisor suites with CMPMEM_ISOLATE=1 (every job in a forked
 # sandbox, plus the kill-then-resume gate; DESIGN.md §16), then
 # builds and runs everything again under AddressSanitizer + UBSan
-# (CMPMEM_SANITIZE=ON), and
+# (CMPMEM_SANITIZE=ON), runs the thread-safety subset (the parallel
+# intra-run engine and the sweep executor) under ThreadSanitizer
+# (CMPMEM_SANITIZE=thread), and
 # finishes with a widened fault-injection stress pass
 # (CMPMEM_FAULT_SCALE=2) in the sanitizer tree — the recovery paths
 # (ECC re-reads, NACK/DMA retries, watchdog kills) are exactly where
@@ -36,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 # The benches with committed baselines; keep in step with the
 # cmpmem_gate() entries in bench/CMakeLists.txt and DESIGN.md §14.
-gate_benches="micro_events micro_access table3 policy_space"
+gate_benches="micro_events micro_access micro_parallel table3 policy_space fig2_scaling"
 
 full=0
 update=0
@@ -137,6 +139,15 @@ if [[ "${full}" -eq 1 ]]; then
     echo "==> fault-injection stress pass (sanitized, scale 2)"
     CMPMEM_FAULT_SCALE=2 ctest --test-dir build-sanitize \
         --output-on-failure -j "${jobs}" -R test_faults_stress
+    echo "==> thread-sanitizer pass (parallel engine + sweep executor)"
+    # TSan and ASan cannot share a build; a third tree covers the two
+    # suites that actually run host threads — the intra-run parallel
+    # engine (DESIGN.md §17) and the inter-job sweep pool (§16).
+    cmake -S . -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Release \
+        -DCMPMEM_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "${jobs}"
+    ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
+        -R 'test_parallel|test_sweep'
     echo "==> all configurations green"
 else
     run_config build "-LE long|perf" -DCMAKE_BUILD_TYPE=Release

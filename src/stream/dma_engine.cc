@@ -38,13 +38,86 @@ DmaEngine::issueSlot(Tick earliest)
     return start;
 }
 
+DmaEngine::Ticket
+DmaEngine::reserveTicket()
+{
+    ticketDone.push_back(0);
+    return Ticket(ticketDone.size() - 1);
+}
+
+std::vector<DmaEngine::Chunk>
+DmaEngine::seqChunks(Addr mem_addr, std::uint32_t ls_off,
+                     std::uint32_t bytes)
+{
+    return {{mem_addr, ls_off, bytes}};
+}
+
+std::vector<DmaEngine::Chunk>
+DmaEngine::stridedChunks(Addr mem_base, std::uint64_t mem_stride,
+                         std::uint32_t row_bytes, std::uint32_t rows,
+                         std::uint32_t ls_off)
+{
+    std::vector<Chunk> chunks;
+    chunks.reserve(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        chunks.push_back({mem_base + Addr(r) * mem_stride,
+                          ls_off + r * row_bytes, row_bytes});
+    }
+    return chunks;
+}
+
+std::vector<DmaEngine::Chunk>
+DmaEngine::indexedChunks(const std::vector<Addr> &addrs,
+                         std::uint32_t elem_bytes, std::uint32_t ls_off)
+{
+    std::vector<Chunk> chunks;
+    chunks.reserve(addrs.size());
+    std::uint32_t off = ls_off;
+    for (Addr a : addrs) {
+        chunks.push_back({a, off, elem_bytes});
+        off += elem_bytes;
+    }
+    return chunks;
+}
+
+std::unique_ptr<DmaEngine::Pending>
+DmaEngine::defer(Tick t, bool is_get, std::vector<Chunk> chunks)
+{
+    auto p = std::make_unique<Pending>();
+    p->t = t;
+    p->ticket = reserveTicket();
+    p->isGet = is_get;
+    p->chunks = std::move(chunks);
+    if (!is_get) {
+        std::size_t total = 0;
+        for (const auto &c : p->chunks)
+            total += c.bytes;
+        p->putData.resize(total);
+        std::size_t off = 0;
+        for (const auto &c : p->chunks) {
+            ls.read(c.lsOff, p->putData.data() + off, c.bytes);
+            off += c.bytes;
+        }
+    }
+    return p;
+}
+
 Tick
-DmaEngine::executeChunks(Tick t, const std::vector<Chunk> &chunks,
-                         bool is_get)
+DmaEngine::executePending(const Pending &p)
+{
+    return executeChunks(p.t, p.ticket, p.chunks, p.isGet,
+                         p.putData.empty() ? nullptr : p.putData.data());
+}
+
+Tick
+DmaEngine::executeChunks(Tick t, Ticket ticket,
+                         const std::vector<Chunk> &chunks, bool is_get,
+                         const std::uint8_t *put_data)
 {
     const int cluster = fabric.clusterOf(coreId);
     const std::uint32_t line = cfg.accessBytes;
     Tick done = t;
+    std::size_t put_off = 0;
 
     for (const auto &c : chunks) {
         // Split the chunk into line-granule accesses. The uncore
@@ -94,11 +167,16 @@ DmaEngine::executeChunks(Tick t, const std::vector<Chunk> &chunks,
             remaining -= in_line;
         }
 
-        // Functional copy, in issue order (see file comment).
+        // Functional copy, in issue order (see file comment). A
+        // deferred put carries its local-store bytes from defer()
+        // time — the command's true issue point in program order.
         if (is_get) {
             std::vector<std::uint8_t> buf(c.bytes);
             mem.read(c.mem, buf.data(), c.bytes);
             ls.write(c.lsOff, buf.data(), c.bytes);
+        } else if (put_data) {
+            mem.write(c.mem, put_data + put_off, c.bytes);
+            put_off += c.bytes;
         } else {
             std::vector<std::uint8_t> buf(c.bytes);
             ls.read(c.lsOff, buf.data(), c.bytes);
@@ -107,7 +185,7 @@ DmaEngine::executeChunks(Tick t, const std::vector<Chunk> &chunks,
     }
 
     ++stats.commands;
-    ticketDone.push_back(done);
+    ticketDone[ticket] = done;
     lastCompletion = std::max(lastCompletion, done);
     return done;
 }
@@ -116,18 +194,18 @@ DmaEngine::Ticket
 DmaEngine::get(Tick t, Addr mem_addr, std::uint32_t ls_off,
                std::uint32_t bytes)
 {
-    std::vector<Chunk> chunks{{mem_addr, ls_off, bytes}};
-    executeChunks(t, chunks, true);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk, seqChunks(mem_addr, ls_off, bytes), true, nullptr);
+    return tk;
 }
 
 DmaEngine::Ticket
 DmaEngine::put(Tick t, Addr mem_addr, std::uint32_t ls_off,
                std::uint32_t bytes)
 {
-    std::vector<Chunk> chunks{{mem_addr, ls_off, bytes}};
-    executeChunks(t, chunks, false);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk, seqChunks(mem_addr, ls_off, bytes), false, nullptr);
+    return tk;
 }
 
 DmaEngine::Ticket
@@ -135,14 +213,12 @@ DmaEngine::getStrided(Tick t, Addr mem_base, std::uint64_t mem_stride,
                       std::uint32_t row_bytes, std::uint32_t rows,
                       std::uint32_t ls_off)
 {
-    std::vector<Chunk> chunks;
-    chunks.reserve(rows);
-    for (std::uint32_t r = 0; r < rows; ++r) {
-        chunks.push_back({mem_base + Addr(r) * mem_stride,
-                          ls_off + r * row_bytes, row_bytes});
-    }
-    executeChunks(t, chunks, true);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk,
+                  stridedChunks(mem_base, mem_stride, row_bytes, rows,
+                                ls_off),
+                  true, nullptr);
+    return tk;
 }
 
 DmaEngine::Ticket
@@ -150,44 +226,32 @@ DmaEngine::putStrided(Tick t, Addr mem_base, std::uint64_t mem_stride,
                       std::uint32_t row_bytes, std::uint32_t rows,
                       std::uint32_t ls_off)
 {
-    std::vector<Chunk> chunks;
-    chunks.reserve(rows);
-    for (std::uint32_t r = 0; r < rows; ++r) {
-        chunks.push_back({mem_base + Addr(r) * mem_stride,
-                          ls_off + r * row_bytes, row_bytes});
-    }
-    executeChunks(t, chunks, false);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk,
+                  stridedChunks(mem_base, mem_stride, row_bytes, rows,
+                                ls_off),
+                  false, nullptr);
+    return tk;
 }
 
 DmaEngine::Ticket
 DmaEngine::getIndexed(Tick t, const std::vector<Addr> &addrs,
                       std::uint32_t elem_bytes, std::uint32_t ls_off)
 {
-    std::vector<Chunk> chunks;
-    chunks.reserve(addrs.size());
-    std::uint32_t off = ls_off;
-    for (Addr a : addrs) {
-        chunks.push_back({a, off, elem_bytes});
-        off += elem_bytes;
-    }
-    executeChunks(t, chunks, true);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk, indexedChunks(addrs, elem_bytes, ls_off), true,
+                  nullptr);
+    return tk;
 }
 
 DmaEngine::Ticket
 DmaEngine::putIndexed(Tick t, const std::vector<Addr> &addrs,
                       std::uint32_t elem_bytes, std::uint32_t ls_off)
 {
-    std::vector<Chunk> chunks;
-    chunks.reserve(addrs.size());
-    std::uint32_t off = ls_off;
-    for (Addr a : addrs) {
-        chunks.push_back({a, off, elem_bytes});
-        off += elem_bytes;
-    }
-    executeChunks(t, chunks, false);
-    return ticketDone.size() - 1;
+    Ticket tk = reserveTicket();
+    executeChunks(t, tk, indexedChunks(addrs, elem_bytes, ls_off), false,
+                  nullptr);
+    return tk;
 }
 
 Tick

@@ -1,0 +1,641 @@
+#include "system/parallel_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "core/core.hh"
+#include "sim/log.hh"
+#include "sim/sim_error.hh"
+
+namespace cmpmem
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spins this many times before falling back to yield(). */
+constexpr int kSpinBound = 4096;
+
+/**
+ * Busy-spinning only makes sense when every engine thread can own a
+ * host CPU; on an oversubscribed host a spinning waiter steals the
+ * very core the thread it waits on needs, so fall straight to
+ * yield() there.
+ */
+int
+spinBound(int engine_threads)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return (hw != 0 && hw >= unsigned(engine_threads)) ? kSpinBound : 0;
+}
+
+/**
+ * Hard per-shard, per-window event cap. The engine's watchdog checks
+ * run between events on the coordinator; a same-tick livelock inside
+ * a worker phase would otherwise spin a worker forever with the
+ * coordinator parked at the barrier. Far above any legitimate window
+ * (a window is a few quanta of one core's execution), and the event
+ * stream is deterministic, so tripping it is reproducible.
+ */
+constexpr std::uint64_t kMaxShardWindowEvents = std::uint64_t(1) << 27;
+
+double
+wallSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+} // namespace
+
+/**
+ * One pending event in a shard's window-local queue. Snapshot events
+ * (popped from the real queue at window start) carry their true
+ * sequence number in key2; generated events (scheduled by this shard
+ * onto itself within the window) carry their creation index and sort
+ * after every same-tick snapshot event — correct because their
+ * sequence numbers are allocated during replay, after every
+ * already-pending event's.
+ */
+struct ParallelEngine::LocalEvent
+{
+    Tick when;
+    std::uint64_t key2;
+    bool isGen;
+    std::int32_t genId;
+    EventQueue::Callback cb;
+
+    /** a fires after b (min-heap comparator). */
+    static bool
+    after(const LocalEvent &a, const LocalEvent &b)
+    {
+        if (a.when != b.when)
+            return b.when < a.when;
+        if (a.isGen != b.isGen)
+            return a.isGen;
+        return b.key2 < a.key2;
+    }
+};
+
+/**
+ * One side effect recorded during a shard event: either a schedule
+ * (replayed against the shadow queue to allocate its true sequence
+ * number) or a deferred shared-state operation (invoked verbatim).
+ */
+struct ParallelEngine::Action
+{
+    Tick when = 0;
+    std::int32_t shard = EventQueue::kNoShard;
+    std::int32_t genId = -1; ///< >= 0: schedule ran locally in-window
+    bool isOp = false;
+    EventQueue::Callback cb; ///< schedule target unless genId >= 0
+    ParallelHook::OpFn op;
+};
+
+/**
+ * One event a shard executed in the worker phase, in local key order:
+ * its global key (via seq or genSeq[genId]) plus the half-open range
+ * of its recorded actions and any exception it raised.
+ */
+struct ParallelEngine::ExecRec
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::int32_t genId = -1;
+    std::uint32_t actBegin = 0;
+    std::uint32_t actEnd = 0;
+    std::exception_ptr fault;
+};
+
+/** A shared-machinery event replayed serially at its exact key. */
+struct ParallelEngine::SerialEvent
+{
+    Tick when;
+    std::uint64_t seq;
+    EventQueue::Callback cb;
+
+    static bool
+    after(const SerialEvent &a, const SerialEvent &b)
+    {
+        if (a.when != b.when)
+            return b.when < a.when;
+        return b.seq < a.seq;
+    }
+};
+
+/**
+ * Per-core recorder: the ParallelHook a worker installs while
+ * executing this core's events. Everything here is touched by exactly
+ * one thread per phase (the owning worker in the parallel phase, the
+ * coordinator during replay), with the barrier ordering the handoff.
+ */
+struct ParallelEngine::Shard final : ParallelHook
+{
+    std::int32_t id = 0;
+    Tick limit = 0;   ///< current window's inclusive tick bound
+    Tick curWhen = 0; ///< tick of the event being executed
+    Tick *nowSlot = nullptr;
+
+    std::vector<LocalEvent> heap; ///< min-heap by localAfter
+    std::vector<ExecRec> recs;
+    std::vector<Action> actions;
+    std::vector<std::uint64_t> genSeq; ///< genId -> shadow seq (replay)
+    std::int32_t genCount = 0;
+    std::size_t streamPos = 0; ///< replay cursor into recs
+
+    std::uint64_t eventsExecuted = 0; ///< lifetime, for telemetry
+
+    Shard() { workerPhase = true; }
+
+    void
+    routeSchedule(Tick when, std::int32_t shard,
+                  EventQueue::Callback &&cb) override
+    {
+        if (when < curWhen) {
+            throwSimError(
+                SimErrorKind::Model,
+                "event scheduled in the past (when=%llu, now=%llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(curWhen));
+        }
+        Action a;
+        a.when = when;
+        a.shard = shard;
+        if (shard == id && when <= limit) {
+            // Stays local: execute within this window's worker phase.
+            // The callback lives in the local heap; the action only
+            // claims the event's sequence number at replay.
+            a.genId = genCount++;
+            heap.push_back(LocalEvent{when, std::uint64_t(a.genId), true,
+                                      a.genId, std::move(cb)});
+            std::push_heap(heap.begin(), heap.end(), LocalEvent::after);
+        } else {
+            a.cb = std::move(cb);
+        }
+        actions.push_back(std::move(a));
+    }
+
+    void
+    recordOp(OpFn &&op) override
+    {
+        Action a;
+        a.isOp = true;
+        a.op = std::move(op);
+        actions.push_back(std::move(a));
+    }
+};
+
+ParallelEngine::ParallelEngine(EventQueue &real_queue,
+                               std::vector<Core *> core_ptrs,
+                               int host_threads, Tick window_ticks)
+    : realQ(real_queue),
+      cores(std::move(core_ptrs)),
+      nThreads(std::max(1, std::min<int>(host_threads,
+                                         int(cores.size())))),
+      windowTicks(std::max<Tick>(window_ticks, 1))
+{
+    shadowQ.setBucketShift(realQ.bucketShift());
+    coreNow.resize(cores.size());
+    shards.reserve(cores.size());
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        shards.push_back(std::make_unique<Shard>());
+        shards.back()->id = std::int32_t(i);
+        shards.back()->nowSlot = &coreNow[i].v;
+    }
+    workers.reserve(std::size_t(nThreads - 1));
+    for (int t = 1; t < nThreads; ++t)
+        workers.emplace_back([this, t] { workerMain(t); });
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    shuttingDown.store(true, std::memory_order_release);
+    goGen.fetch_add(1, std::memory_order_release);
+    workers.clear(); // jthread joins
+    restoreNowSources();
+}
+
+void
+ParallelEngine::restoreNowSources()
+{
+    for (Core *c : cores)
+        c->setNowSource(realQ.nowPtr());
+}
+
+void
+ParallelEngine::routeSchedule(Tick when, std::int32_t shard,
+                              EventQueue::Callback &&cb)
+{
+    // The shadow allocates the key — including the past-time check
+    // (its curTick tracks the replayed event's tick exactly).
+    const std::uint64_t seq = shadowQ.scheduleKeyOnly(when);
+    if (inWindow && when <= windowLimit)
+        pushSerial(SerialEvent{when, seq, std::move(cb)});
+    else
+        realQ.insertWithSeq(when, seq, shard, std::move(cb));
+}
+
+void
+ParallelEngine::recordOp(OpFn &&)
+{
+    throwSimError(SimErrorKind::Model,
+                  "deferred op recorded outside a parallel worker phase");
+}
+
+void
+ParallelEngine::pushSerial(SerialEvent &&ev)
+{
+    serialHeap.push_back(std::move(ev));
+    std::push_heap(serialHeap.begin(), serialHeap.end(), SerialEvent::after);
+}
+
+ParallelEngine::SerialEvent
+ParallelEngine::popSerial()
+{
+    std::pop_heap(serialHeap.begin(), serialHeap.end(), SerialEvent::after);
+    SerialEvent ev = std::move(serialHeap.back());
+    serialHeap.pop_back();
+    return ev;
+}
+
+void
+ParallelEngine::execShard(Shard &sh)
+{
+    if (sh.heap.empty())
+        return;
+    EventQueue::setCurrentHook(&sh);
+    std::uint64_t executed = 0;
+    while (!sh.heap.empty()) {
+        std::pop_heap(sh.heap.begin(), sh.heap.end(), LocalEvent::after);
+        LocalEvent ev = std::move(sh.heap.back());
+        sh.heap.pop_back();
+
+        sh.curWhen = ev.when;
+        *sh.nowSlot = ev.when;
+
+        ExecRec rec;
+        rec.when = ev.when;
+        rec.seq = ev.isGen ? 0 : ev.key2;
+        rec.genId = ev.genId;
+        rec.actBegin = std::uint32_t(sh.actions.size());
+        bool faulted = false;
+        try {
+            if (++executed > kMaxShardWindowEvents) {
+                throwSimError(
+                    SimErrorKind::Watchdog,
+                    "shard %d livelocked within one parallel window "
+                    "(over %llu events at tick %llu)",
+                    int(sh.id),
+                    static_cast<unsigned long long>(kMaxShardWindowEvents),
+                    static_cast<unsigned long long>(ev.when));
+            }
+            ev.cb();
+        } catch (...) {
+            rec.fault = std::current_exception();
+            faulted = true;
+        }
+        rec.actEnd = std::uint32_t(sh.actions.size());
+        sh.recs.push_back(std::move(rec));
+        if (faulted) {
+            // The run is unwinding at this key; later local events
+            // would never have executed in the single-threaded run.
+            sh.heap.clear();
+            break;
+        }
+    }
+    sh.eventsExecuted += executed;
+    EventQueue::setCurrentHook(nullptr);
+}
+
+void
+ParallelEngine::runShardSet(int tid)
+{
+    for (std::size_t s = std::size_t(tid); s < shards.size();
+         s += std::size_t(nThreads))
+        execShard(*shards[s]);
+}
+
+void
+ParallelEngine::workerMain(int tid)
+{
+    std::uint64_t gen = 0;
+    const int spin_bound = spinBound(nThreads);
+    for (;;) {
+        ++gen;
+        int spins = 0;
+        while (goGen.load(std::memory_order_acquire) < gen) {
+            if (shuttingDown.load(std::memory_order_acquire))
+                return;
+            if (++spins < spin_bound)
+                cpuRelax();
+            else
+                std::this_thread::yield();
+        }
+        if (shuttingDown.load(std::memory_order_acquire))
+            return;
+        runShardSet(tid);
+        doneCount.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ParallelEngine::waitForWorkers()
+{
+    const double t0 = wallSeconds();
+    const int spin_bound = spinBound(nThreads);
+    int spins = 0;
+    while (doneCount.load(std::memory_order_acquire) < nThreads - 1) {
+        if (++spins < spin_bound)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+    tele.barrierWaitSeconds += wallSeconds() - t0;
+}
+
+void
+ParallelEngine::applyAction(Shard &sh, Action &a)
+{
+    if (a.isOp) {
+        a.op();
+        return;
+    }
+    const std::uint64_t seq = shadowQ.scheduleKeyOnly(a.when);
+    if (a.genId >= 0) {
+        // The event already ran locally; it only needed its key.
+        sh.genSeq[std::size_t(a.genId)] = seq;
+    } else if (a.when <= windowLimit) {
+        pushSerial(SerialEvent{a.when, seq, std::move(a.cb)});
+    } else {
+        realQ.insertWithSeq(a.when, seq, a.shard, std::move(a.cb));
+    }
+}
+
+template <typename CheckFn>
+void
+ParallelEngine::replayWindow(CheckFn &&check)
+{
+    for (;;) {
+        // Merge front: the minimal key among every shard's next
+        // unconsumed record and the serial working heap. Each shard
+        // stream is key-sorted (local execution order), and a
+        // generated record's key is always resolved by the time it
+        // reaches the stream head — its creating event precedes it.
+        Shard *best = nullptr;
+        Tick bw = 0;
+        std::uint64_t bs = 0;
+        for (auto &shp : shards) {
+            Shard &sh = *shp;
+            if (sh.streamPos >= sh.recs.size())
+                continue;
+            const ExecRec &r = sh.recs[sh.streamPos];
+            const std::uint64_t seq =
+                r.genId >= 0 ? sh.genSeq[std::size_t(r.genId)] : r.seq;
+            if (!best || r.when < bw || (r.when == bw && seq < bs)) {
+                best = &sh;
+                bw = r.when;
+                bs = seq;
+            }
+        }
+        bool useSerial = false;
+        if (!serialHeap.empty()) {
+            const SerialEvent &se = serialHeap.front();
+            if (!best || se.when < bw ||
+                (se.when == bw && se.seq < bs)) {
+                useSerial = true;
+                bw = se.when;
+                bs = se.seq;
+            }
+        }
+        if (!best && !useSerial)
+            return;
+
+        // The bit-identity check: the shadow queue, having seen the
+        // exact single-threaded operation sequence, must agree on
+        // which event fires next.
+        const auto key = shadowQ.popKey();
+        if (key.first != bw || key.second != bs) {
+            throwSimError(
+                SimErrorKind::Model,
+                "parallel replay divergence: merged key (%llu, %llu) "
+                "but the shadow queue pops (%llu, %llu)",
+                static_cast<unsigned long long>(bw),
+                static_cast<unsigned long long>(bs),
+                static_cast<unsigned long long>(key.first),
+                static_cast<unsigned long long>(key.second));
+        }
+        replayNow = bw;
+        realQ.curTick = bw;
+
+        if (useSerial) {
+            SerialEvent se = popSerial();
+            se.cb();
+        } else {
+            ExecRec &r = best->recs[best->streamPos++];
+            for (std::uint32_t i = r.actBegin; i < r.actEnd; ++i)
+                applyAction(*best, best->actions[i]);
+            if (r.fault) {
+                // Surface the worker-phase exception at exactly the
+                // key where the single-threaded run would have thrown
+                // (every earlier event has fully replayed).
+                std::rethrow_exception(r.fault);
+            }
+        }
+        check();
+    }
+}
+
+Tick
+ParallelEngine::runLoop(const EventQueue::RunGuard &guard)
+{
+    const Tick startTick = shadowQ.now();
+    const bool checkHost = guard.maxHostSeconds > 0;
+    const bool checkProgress = guard.progressCheckEvents != 0;
+    const double hostStart = checkHost ? wallSeconds() : 0;
+    const std::uint64_t cadence =
+        guard.progressCheckEvents ? guard.progressCheckEvents : 4096;
+    std::uint64_t nextCheck = shadowQ.executed() + cadence;
+    std::uint64_t lastProbe =
+        guard.progressProbe ? guard.progressProbe() : shadowQ.now();
+    bool probeArmed = false;
+
+    auto fail = [&](const char *what, std::string detail) {
+        std::string diag = guard.diagnostic ? guard.diagnostic() : "";
+        throw SimError(SimErrorKind::Watchdog,
+                       strformat("watchdog: %s (%s)", what, detail.c_str()),
+                       std::move(diag));
+    };
+
+    // Called between replayed events and between windows — the same
+    // cadence contract runGuarded() keeps, so watchdog behaviour is
+    // equivalent (modulo wall-vs-thread time; see run()'s doc).
+    auto guardChecks = [&] {
+        if (shadowQ.executed() < nextCheck)
+            return;
+        nextCheck = shadowQ.executed() + cadence;
+        if (checkHost) {
+            double spent = wallSeconds() - hostStart;
+            if (spent > guard.maxHostSeconds) {
+                fail("host time budget exceeded",
+                     strformat("%.1fs spent, budget %.1fs", spent,
+                               guard.maxHostSeconds));
+            }
+        }
+        if (checkProgress) {
+            std::uint64_t probe =
+                guard.progressProbe ? guard.progressProbe() : shadowQ.now();
+            if (probe != lastProbe) {
+                lastProbe = probe;
+                probeArmed = false;
+            } else if (!probeArmed) {
+                probeArmed = true;
+            } else {
+                fail("no forward progress",
+                     strformat("probe stuck at %llu for %llu events "
+                               "(tick %llu)",
+                               static_cast<unsigned long long>(probe),
+                               static_cast<unsigned long long>(2 * cadence),
+                               static_cast<unsigned long long>(
+                                   shadowQ.now())));
+            }
+        }
+    };
+
+    for (;;) {
+        EventQueue::Node *head = realQ.peekNext();
+        if (!head)
+            break;
+        const Tick first = head->when;
+        if (guard.maxTicks != 0 && first > startTick + guard.maxTicks) {
+            fail("simulated-tick budget exceeded",
+                 strformat("next event at tick %llu, budget was %llu "
+                           "ticks from tick %llu",
+                           static_cast<unsigned long long>(first),
+                           static_cast<unsigned long long>(guard.maxTicks),
+                           static_cast<unsigned long long>(startTick)));
+        }
+
+        windowLimit = first + windowTicks;
+        if (windowLimit < first) // tick overflow near the end of time
+            windowLimit = maxTick;
+        inWindow = true;
+        ++tele.windows;
+
+        // Partition the window: core-tagged events to their shards,
+        // everything else straight to the serial working heap.
+        bool anyLocal = false;
+        EventQueue::Node *n;
+        while ((n = realQ.peekNext()) && n->when <= windowLimit) {
+            realQ.takeNext();
+            const std::int32_t s = n->shard;
+            if (s >= 0 && std::size_t(s) < shards.size()) {
+                Shard &sh = *shards[std::size_t(s)];
+                sh.heap.push_back(
+                    LocalEvent{n->when, n->seq, false, -1,
+                               std::move(n->cb)});
+                std::push_heap(sh.heap.begin(), sh.heap.end(),
+                               LocalEvent::after);
+                anyLocal = true;
+            } else {
+                pushSerial(SerialEvent{n->when, n->seq, std::move(n->cb)});
+            }
+            realQ.releaseNode(n);
+        }
+
+        if (anyLocal) {
+            ++tele.parallelWindows;
+            for (std::size_t c = 0; c < shards.size(); ++c) {
+                shards[c]->limit = windowLimit;
+                cores[c]->setNowSource(&coreNow[c].v);
+            }
+            workerPhaseActive.store(true, std::memory_order_release);
+            doneCount.store(0, std::memory_order_relaxed);
+            goGen.fetch_add(1, std::memory_order_release);
+            runShardSet(0);
+            waitForWorkers();
+            workerPhaseActive.store(false, std::memory_order_release);
+            for (std::size_t c = 0; c < shards.size(); ++c) {
+                shards[c]->genSeq.resize(
+                    std::size_t(shards[c]->genCount));
+                cores[c]->setNowSource(&replayNow);
+            }
+            // runShardSet(0) cleared the coordinator's hook on exit.
+            EventQueue::setCurrentHook(this);
+        }
+
+        replayWindow(guardChecks);
+        inWindow = false;
+
+        for (auto &shp : shards) {
+            Shard &sh = *shp;
+            assert(sh.streamPos == sh.recs.size() &&
+                   "parallel window replay left unconsumed records");
+            assert(sh.heap.empty() &&
+                   "parallel window left unexecuted local events");
+            sh.recs.clear();
+            sh.actions.clear();
+            sh.genSeq.clear();
+            sh.genCount = 0;
+            sh.streamPos = 0;
+        }
+        assert(serialHeap.empty() &&
+               "parallel window left unreplayed serial events");
+
+        guardChecks();
+    }
+
+    realQ.curTick = shadowQ.now();
+    return shadowQ.now();
+}
+
+Tick
+ParallelEngine::run(const EventQueue::RunGuard &guard)
+{
+    assert(realQ.empty() && realQ.executed() == 0 &&
+           "the parallel engine must own the queue from the first event");
+
+    // RAII hook ownership: on any exit — normal completion, a fault
+    // replayed out of a shard, a watchdog trip — the coordinator's
+    // hook is cleared and the cores read time from the real queue
+    // again (whose curTick the replay loop kept in sync).
+    struct Scope
+    {
+        ParallelEngine *e;
+        ~Scope()
+        {
+            EventQueue::setCurrentHook(nullptr);
+            e->restoreNowSources();
+        }
+    } scope{this};
+
+    EventQueue::setCurrentHook(this);
+    for (Core *c : cores)
+        c->setNowSource(&replayNow);
+    for (Core *c : cores)
+        c->start();
+
+    const Tick end = runLoop(guard);
+
+    tele.shardEvents.clear();
+    for (const auto &shp : shards)
+        tele.shardEvents.push_back(shp->eventsExecuted);
+    return end;
+}
+
+} // namespace cmpmem

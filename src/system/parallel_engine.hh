@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parallel intra-run execution: shard per-core events across host
+ * worker threads with window-barrier synchronization (DESIGN.md §17).
+ *
+ * The engine alternates two phases per window:
+ *
+ *  - a parallel phase, where each worker thread drains its shards'
+ *    core-local events (kernel resumes) with every shared-state
+ *    operation recorded instead of executed, and
+ *  - a serial replay phase on the coordinator, where the recorded
+ *    operations — merged with the window's shared-machinery events —
+ *    run in exact single-threaded (tick, sequence) order.
+ *
+ * A shadow EventQueue receives the identical sequence of schedule/pop
+ * operations a hostThreads=1 run would perform, so every event key,
+ * stat and telemetry counter is bit-identical by construction; the
+ * replay loop asserts each merged key against the shadow's pop.
+ */
+
+#ifndef CMPMEM_SYSTEM_PARALLEL_ENGINE_HH
+#define CMPMEM_SYSTEM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+class Core;
+
+/**
+ * Drives one CmpSystem run across several host threads. Owns the
+ * worker pool, the per-core shard recorders and the shadow queue;
+ * the real EventQueue is reduced to a key-ordered store of
+ * cross-window events.
+ */
+class ParallelEngine : private ParallelHook
+{
+  public:
+    /** Host-side run telemetry (never part of stat digests). */
+    struct Telemetry
+    {
+        std::uint64_t windows = 0;         ///< execution windows run
+        std::uint64_t parallelWindows = 0; ///< windows with a worker phase
+        double barrierWaitSeconds = 0;     ///< coordinator wait at barriers
+        std::vector<std::uint64_t> shardEvents; ///< worker-phase events/core
+    };
+
+    /**
+     * @param real_queue   the system's event queue (must be idle)
+     * @param core_ptrs    one entry per core; core i is shard i
+     * @param host_threads total threads including the coordinator
+     * @param window_ticks width of one execution window (a pure host
+     *                     performance knob; any width is bit-identical)
+     */
+    ParallelEngine(EventQueue &real_queue, std::vector<Core *> core_ptrs,
+                   int host_threads, Tick window_ticks);
+    ~ParallelEngine() override;
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /**
+     * Start the cores and run to completion under @p guard's budgets
+     * (same contract as EventQueue::runGuarded, except the host-time
+     * budget is wall-clock here: worker time is real cost even when
+     * the coordinator sleeps). @return the final simulated tick.
+     */
+    Tick run(const EventQueue::RunGuard &guard);
+
+    /**
+     * The shadow queue. Its executed/pending/peak/overflow/geometry
+     * telemetry and its pendingEventTicks() are bit-identical to a
+     * hostThreads=1 run, and — between windows — form a coherent
+     * snapshot of the quiesced machine; read stats and diagnostics
+     * here, never from the real queue.
+     */
+    const EventQueue &shadow() const { return shadowQ; }
+
+    /**
+     * True whenever no worker phase is in flight (shard state and
+     * shared structures are coherent). Diagnostics must only run in
+     * the serial phase; CmpSystem::dumpDiagnostics asserts this.
+     */
+    bool inSerialPhase() const
+    {
+        return !workerPhaseActive.load(std::memory_order_acquire);
+    }
+
+    int hostThreads() const { return nThreads; }
+
+    const Telemetry &telemetry() const { return tele; }
+
+  private:
+    struct LocalEvent;
+    struct Action;
+    struct ExecRec;
+    struct SerialEvent;
+    struct Shard;
+
+    // Coordinator-side hook: installed for core start-up and the
+    // replay phase, where schedules execute for real (shadow key,
+    // then the serial working heap or the real queue).
+    void routeSchedule(Tick when, std::int32_t shard,
+                       EventQueue::Callback &&cb) override;
+    void recordOp(OpFn &&op) override;
+
+    Tick runLoop(const EventQueue::RunGuard &guard);
+    template <typename CheckFn> void replayWindow(CheckFn &&check);
+    void applyAction(Shard &sh, Action &a);
+    void execShard(Shard &sh);
+    void runShardSet(int tid);
+    void workerMain(int tid);
+    void waitForWorkers();
+    void pushSerial(SerialEvent &&ev);
+    SerialEvent popSerial();
+    void restoreNowSources();
+
+    EventQueue &realQ;
+    EventQueue shadowQ;
+    std::vector<Core *> cores;
+    const int nThreads;
+    const Tick windowTicks;
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<SerialEvent> serialHeap;
+
+    /** Per-core "now" slots for the parallel phase (padded: each is
+     *  written by the worker owning that shard). */
+    struct alignas(64) PaddedTick
+    {
+        Tick v = 0;
+    };
+    std::vector<PaddedTick> coreNow;
+
+    /** Global now during serial phases; all cores' nowSrc points here
+     *  outside worker phases (barrier wakeups cross cores). */
+    Tick replayNow = 0;
+
+    Tick windowLimit = 0;
+    bool inWindow = false;
+
+    Telemetry tele;
+
+    // Spin barrier: the coordinator publishes a generation to release
+    // the workers and waits for all of them to report done.
+    std::atomic<std::uint64_t> goGen{0};
+    std::atomic<int> doneCount{0};
+    std::atomic<bool> shuttingDown{false};
+    std::atomic<bool> workerPhaseActive{false};
+    std::vector<std::jthread> workers;
+};
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SYSTEM_PARALLEL_ENGINE_HH

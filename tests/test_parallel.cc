@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Parallel intra-run engine tests (DESIGN.md §17). The contract under
+ * test: sharding cores across host threads with window-barrier
+ * synchronization is a pure host-performance lever — every simulated
+ * stat, the energy report, verification, and even the fault surface
+ * are bit-identical to the single-threaded run at any hostThreads
+ * value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cmpmem.hh"
+#include "core/context.hh"
+#include "system/cmp_system.hh"
+
+namespace cmpmem
+{
+namespace
+{
+
+WorkloadParams
+smokeParams()
+{
+    WorkloadParams p;
+    p.scale = 0;
+    return p;
+}
+
+RunResult
+runAt(const char *workload, MemModel model, int host_threads)
+{
+    SystemConfig cfg = makeConfig(4, model);
+    cfg.hostThreads = host_threads;
+    return runWorkload(workload, cfg, smokeParams());
+}
+
+// ---------------------------------------------------------------- //
+// Golden parity: serial == parallel, bit for bit                   //
+// ---------------------------------------------------------------- //
+
+struct ParityCase
+{
+    const char *workload;
+    MemModel model;
+};
+
+std::string
+parityName(const testing::TestParamInfo<ParityCase> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           to_string(info.param.model);
+}
+
+class ParallelParity : public testing::TestWithParam<ParityCase>
+{
+};
+
+TEST_P(ParallelParity, StatsBitIdenticalAcrossHostThreads)
+{
+    const auto &[workload, model] = GetParam();
+
+    RunResult serial = runAt(workload, model, 1);
+    ASSERT_TRUE(serial.verified);
+    const std::string base = serial.stats.toStatSet().digest();
+    EXPECT_EQ(serial.stats.hostThreads, 1);
+    EXPECT_EQ(serial.stats.hostWindows, 0u);
+
+    for (int threads : {2, 4}) {
+        RunResult par = runAt(workload, model, threads);
+        EXPECT_TRUE(par.verified);
+        // The digest covers the full StatSet — timing, traffic,
+        // event-queue telemetry, calendar geometry. Any divergence
+        // from the serial run is a determinism bug, not noise.
+        EXPECT_EQ(par.stats.toStatSet().digest(), base)
+            << workload << "/" << to_string(model) << " at "
+            << threads << " host threads";
+        EXPECT_EQ(par.energy.totalMj(), serial.energy.totalMj());
+        EXPECT_EQ(par.stats.execTicks, serial.stats.execTicks);
+
+        // Host-side telemetry is present but outside the digest.
+        EXPECT_EQ(par.stats.hostThreads, threads);
+        EXPECT_GT(par.stats.hostWindows, 0u);
+        EXPECT_GT(par.stats.hostParallelWindows, 0u);
+        ASSERT_EQ(par.stats.hostShardEvents.size(), std::size_t(4));
+        std::uint64_t shard_total = 0;
+        for (auto ev : par.stats.hostShardEvents)
+            shard_total += ev;
+        EXPECT_GT(shard_total, 0u);
+        EXPECT_LE(shard_total, par.stats.eventsExecuted);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Golden, ParallelParity,
+    testing::Values(ParityCase{"art", MemModel::CC},
+                    ParityCase{"art", MemModel::STR},
+                    ParityCase{"fem", MemModel::CC},
+                    ParityCase{"fem", MemModel::STR},
+                    ParityCase{"bitonic", MemModel::CC},
+                    ParityCase{"bitonic", MemModel::STR}),
+    parityName);
+
+// ---------------------------------------------------------------- //
+// Merge-order determinism                                          //
+// ---------------------------------------------------------------- //
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreIdentical)
+{
+    std::string base;
+    for (int rep = 0; rep < 3; ++rep) {
+        RunResult r = runAt("merge", MemModel::CC, 4);
+        ASSERT_TRUE(r.verified);
+        std::string digest = r.stats.toStatSet().digest();
+        if (rep == 0)
+            base = digest;
+        else
+            EXPECT_EQ(digest, base) << "repetition " << rep;
+    }
+}
+
+/**
+ * Cross-shard merge order, observed from inside the kernels: every
+ * core hammers one shared atomic counter with staggered compute
+ * between requests, and records the sequence of values it receives.
+ * The arbitration order those values encode must be identical between
+ * the serial run and any sharded run — this is exactly the order the
+ * window-replay merge reconstructs.
+ */
+KernelTask
+atomicHammer(Context &ctx, Addr counter, int rounds,
+             std::vector<std::uint32_t> &observed)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await ctx.compute(Cycles(1 + (ctx.tid() * 7 + i * 3) % 23));
+        auto v = co_await ctx.atomicFetchAdd32(counter, 1);
+        observed.push_back(std::uint32_t(v));
+    }
+}
+
+std::vector<std::vector<std::uint32_t>>
+runHammer(int host_threads)
+{
+    constexpr int cores = 8;
+    constexpr int rounds = 64;
+
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.model = MemModel::CC;
+    cfg.hostThreads = host_threads;
+    CmpSystem sys(cfg);
+
+    Addr counter = sys.mem().alloc(4);
+    sys.mem().write<std::uint32_t>(counter, 0);
+
+    std::vector<std::vector<std::uint32_t>> observed(cores);
+    for (int i = 0; i < cores; ++i) {
+        sys.bindKernel(
+            i, atomicHammer(sys.context(i), counter, rounds,
+                            observed[std::size_t(i)]));
+    }
+    sys.simulate();
+
+    EXPECT_EQ(sys.mem().read<std::uint32_t>(counter),
+              std::uint32_t(cores * rounds));
+    return observed;
+}
+
+TEST(ParallelDeterminism, CrossShardAtomicOrderMatchesSerial)
+{
+    auto serial = runHammer(1);
+    for (int threads : {2, 4, 8}) {
+        auto par = runHammer(threads);
+        EXPECT_EQ(par, serial) << threads << " host threads";
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Fault propagation out of a worker phase                          //
+// ---------------------------------------------------------------- //
+
+KernelTask
+faultyKernel(Context &ctx, int victim, int fault_round)
+{
+    for (int i = 0; i < 100000; ++i) {
+        co_await ctx.compute(Cycles(50));
+        if (ctx.tid() == victim && i == fault_round) {
+            throwSimError(SimErrorKind::Fault,
+                          "test shard fault on core %d at tick %llu",
+                          ctx.tid(),
+                          (unsigned long long)ctx.now());
+        }
+    }
+}
+
+std::string
+runFaulty(int host_threads)
+{
+    SystemConfig cfg;
+    cfg.cores = 8;
+    cfg.model = MemModel::CC;
+    cfg.hostThreads = host_threads;
+    CmpSystem sys(cfg);
+    for (int i = 0; i < cfg.cores; ++i)
+        sys.bindKernel(i, faultyKernel(sys.context(i), 3, 37));
+    try {
+        sys.simulate();
+    } catch (const SimError &e) {
+        EXPECT_STREQ(e.kindName(), "fault");
+        return e.what();
+    }
+    ADD_FAILURE() << "expected a SimError from the faulting shard";
+    return {};
+}
+
+TEST(ParallelFaults, ShardFaultSurfacesAtTheSerialTick)
+{
+    // One shard faults mid-quantum while the other shards are still
+    // executing their windows; the engine must surface the same
+    // error, at the same simulated tick (embedded in the message),
+    // as the single-threaded run.
+    const std::string serial = runFaulty(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(runFaulty(4), serial);
+    EXPECT_EQ(runFaulty(8), serial);
+}
+
+// ---------------------------------------------------------------- //
+// Watchdog and deadlock under sharded execution                    //
+// ---------------------------------------------------------------- //
+
+TEST(ParallelGuards, WatchdogTickBudgetFiresWithDiagnostic)
+{
+    SystemConfig cfg = makeConfig(4, MemModel::CC);
+    cfg.hostThreads = 2;
+    cfg.watchdog.maxTicks = 1000 * 1000;
+    try {
+        runWorkload("hang", cfg, smokeParams());
+        FAIL() << "expected the watchdog to fire";
+    } catch (const SimError &e) {
+        EXPECT_STREQ(e.kindName(), "watchdog");
+        // Diagnostics come from the barrier (serial) phase, where
+        // the shadow queue gives a coherent machine snapshot.
+        EXPECT_FALSE(e.diagnostic().empty());
+    }
+}
+
+KernelTask
+stuckOnBarrier(Context &ctx, Barrier &bar)
+{
+    co_await ctx.compute(Cycles(10 + ctx.tid()));
+    co_await ctx.barrier(bar);
+}
+
+TEST(ParallelGuards, DrainedQueueWithBlockedCoresIsDeadlock)
+{
+    SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.model = MemModel::CC;
+    cfg.hostThreads = 2;
+    CmpSystem sys(cfg);
+    Barrier bar(cfg.cores + 1); // never opens
+    for (int i = 0; i < cfg.cores; ++i)
+        sys.bindKernel(i, stuckOnBarrier(sys.context(i), bar));
+    try {
+        sys.simulate();
+        FAIL() << "expected a deadlock report";
+    } catch (const SimError &e) {
+        EXPECT_STREQ(e.kindName(), "deadlock");
+    }
+}
+
+} // namespace
+} // namespace cmpmem
