@@ -62,6 +62,7 @@ benches=(
     policy_space
     micro_events
     micro_access
+    micro_miss
     micro_parallel
     microbench
 )

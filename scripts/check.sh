@@ -38,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 # The benches with committed baselines; keep in step with the
 # cmpmem_gate() entries in bench/CMakeLists.txt and DESIGN.md §14.
-gate_benches="micro_events micro_access micro_parallel table3 policy_space fig2_scaling"
+gate_benches="micro_events micro_access micro_miss micro_parallel table3 policy_space fig2_scaling fig3_traffic"
 
 full=0
 update=0

@@ -5,8 +5,10 @@
 # Frame pointers are kept so --call-graph fp unwinds without DWARF
 # cost; see DESIGN.md §13 for the fast-path work this flow measured.
 #
-# Usage: scripts/profile.sh [command args...]
+# Usage: scripts/profile.sh [--bench NAME] [command args...]
 #   default command: build-profile/bench/micro_access
+#   --bench NAME is shorthand for build-profile/bench/NAME (e.g.
+#   `scripts/profile.sh --bench micro_miss` profiles the miss path)
 #
 # Without a `perf` binary on the host (e.g. a slim container), the
 # command still runs under `time` so the flow degrades to a coarse
@@ -16,11 +18,21 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+cmd=()
+if [ "${1:-}" = "--bench" ]; then
+    if [ -z "${2:-}" ]; then
+        echo "usage: scripts/profile.sh --bench NAME [args...]" >&2
+        exit 2
+    fi
+    cmd=("build-profile/bench/$2")
+    shift 2
+fi
+cmd+=("$@")
+
 echo "==> configuring + building profile preset"
 cmake --preset profile >/dev/null
 cmake --build --preset profile -j "$(nproc)"
 
-cmd=("$@")
 if [ "${#cmd[@]}" -eq 0 ]; then
     cmd=(build-profile/bench/micro_access)
 fi

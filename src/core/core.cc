@@ -148,7 +148,7 @@ Core::finishWait(Tick when)
     resumeKernel(resume_at);
 }
 
-std::function<void(Tick)>
+TickCallback
 Core::waitCallback()
 {
     return [this](Tick when) { finishWait(when); };

@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "core/icache_model.hh"
+#include "sim/callback.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
@@ -164,7 +165,7 @@ class Core
     void finishWait(Tick when);
 
     /** A reusable completion callback bound to finishWait(). */
-    std::function<void(Tick)> waitCallback();
+    TickCallback waitCallback();
 
     /** Arm a plain quantum-flush resume at the current local time. */
     void armQuantumFlush();

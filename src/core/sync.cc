@@ -24,15 +24,18 @@ Barrier::arrive(Tick t, Waiter waiter, Tick &release_tick)
         return false;
     }
 
-    // Last arrival: release everyone.
+    // Last arrival: release everyone. Ping-pong swap instead of
+    // move+clear so both vectors keep their sticky capacity and
+    // steady-state episodes never reallocate (a released waiter may
+    // re-arrive and push into `waiters` while we drain `waking`).
     release_tick = latest + releaseLatency;
     ++numEpisodes;
     arrived = 0;
     latest = 0;
-    std::vector<Waiter> to_wake = std::move(waiters);
-    waiters.clear();
-    for (auto &w : to_wake)
+    waking.swap(waiters);
+    for (auto &w : waking)
         w(release_tick);
+    waking.clear();
     return true;
 }
 
@@ -59,12 +62,19 @@ void
 Lock::release(Tick t)
 {
     assert(isHeld);
-    if (waiters.empty()) {
+    if (waitHead == waiters.size()) {
+        waiters.clear();
+        waitHead = 0;
         isHeld = false;
         return;
     }
-    Waiter next = std::move(waiters.front());
-    waiters.pop_front();
+    Waiter next = std::move(waiters[waitHead++]);
+    if (waitHead == waiters.size()) {
+        // Compact once drained; capacity is sticky, so steady-state
+        // contention cycles stay allocation-free.
+        waiters.clear();
+        waitHead = 0;
+    }
     // Lock stays held; ownership transfers after the handoff delay.
     next(t + handoffLatency);
 }

@@ -15,10 +15,9 @@
 #define CMPMEM_CORE_SYNC_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -30,7 +29,7 @@ namespace cmpmem
 class Barrier
 {
   public:
-    using Waiter = std::function<void(Tick)>;
+    using Waiter = TickCallback;
 
     /**
      * @param participants number of arriving cores per episode.
@@ -59,6 +58,8 @@ class Barrier
     int arrived = 0;
     Tick latest = 0;
     std::vector<Waiter> waiters;
+    std::vector<Waiter> waking; ///< release scratch; swap()ed so both
+                                ///< vectors keep their capacity
     std::uint64_t numEpisodes = 0;
 };
 
@@ -68,7 +69,7 @@ class Barrier
 class Lock
 {
   public:
-    using Waiter = std::function<void(Tick)>;
+    using Waiter = TickCallback;
 
     /**
      * @param line_addr address of the lock word in simulated memory
@@ -102,7 +103,8 @@ class Lock
     Addr addr;
     Tick handoffLatency;
     bool isHeld = false;
-    std::deque<Waiter> waiters;
+    std::vector<Waiter> waiters; ///< FIFO: [waitHead, size) pending
+    std::size_t waitHead = 0;
     std::uint64_t numAcquires = 0;
     std::uint64_t numContended = 0;
 };

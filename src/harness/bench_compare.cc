@@ -277,8 +277,8 @@ class Comparer
     void
     compareHost(const std::string &id, const JsonValue &bjob)
     {
-        for (const char *rate : {"events_per_sec",
-                                 "accesses_per_sec"}) {
+        for (const char *rate : {"events_per_sec", "accesses_per_sec",
+                                 "misses_per_sec"}) {
             double b = numberField(bjob, rate);
             if (b <= 0)
                 continue;

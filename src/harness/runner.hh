@@ -52,6 +52,22 @@ struct RunResult
                                 c.lsReads + c.lsWrites);
         return hostSeconds > 0 ? a / hostSeconds : 0;
     }
+
+    /**
+     * Miss-path host throughput: simulated miss-side transactions
+     * (L1 demand misses, PFS allocates, DMA line-granule accesses)
+     * per host CPU second — the figure of merit for the allocation-
+     * free miss path (DESIGN.md §18). Nondeterministic, like the
+     * other per-second figures.
+     */
+    double
+    missesPerSec() const
+    {
+        const double m = double(stats.l1Total.demandMisses() +
+                                stats.l1Total.pfsStores +
+                                stats.dmaAccesses);
+        return hostSeconds > 0 ? m / hostSeconds : 0;
+    }
 };
 
 /**

@@ -525,6 +525,12 @@ SweepResult::toJson() const
                ",\n";
         out += "      \"accesses_per_sec\": " +
                jnum(jr.run.accessesPerSec()) + ",\n";
+        out += "      \"misses_per_sec\": " + jnum(jr.run.missesPerSec()) +
+               ",\n";
+        out += "      \"miss_path_allocs\": " +
+               fmt("%llu",
+                   (unsigned long long)jr.run.stats.missPathAllocs) +
+               ",\n";
         out += "      \"stats\": " + jr.run.stats.toStatSet().toJson() +
                ",\n";
         out += "      \"stats_digest\": " +

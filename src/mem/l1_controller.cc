@@ -684,15 +684,12 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
 
     // Needs an ownership transaction: park in the store buffer.
     if (sb.full()) {
-        sb.waitForSpace([this, t, addr, pfs,
-                         cb = std::move(cb)](Tick when) mutable {
-            // Retry now that a slot freed; the retry always succeeds
-            // in buffering, so complete the core's wait.
-            bool ok = store(std::max(when, t), addr, pfs, nullptr);
-            assert(ok);
-            (void)ok;
-            cb(when);
-        });
+        // Member slot, not a capture: only the owning in-order core
+        // can block on its own buffer, so one parked store per L1.
+        assert(!parkedCb);
+        parked = ParkedStore{t, addr, pfs};
+        parkedCb = std::move(cb);
+        sb.waitForSpace([this](Tick when) { retryParkedStore(when); });
         return false;
     }
 
@@ -726,18 +723,35 @@ L1Controller::store(Tick t, Addr addr, bool pfs, Callback cb)
 }
 
 void
-L1Controller::atomicFinish(Tick t, Addr line, Callback cb)
+L1Controller::retryParkedStore(Tick when)
+{
+    // Copy out both slots before re-entering store(): the retry may
+    // immediately re-park (it cannot here — a slot just freed — but
+    // the slots must be clear regardless for the next blocked store).
+    ParkedStore p = parked;
+    Callback cb = std::move(parkedCb);
+    parkedCb = nullptr;
+    // Retry now that a slot freed; the retry always succeeds in
+    // buffering, so complete the core's wait.
+    bool ok = store(std::max(when, p.t), p.addr, p.pfs, nullptr);
+    assert(ok);
+    (void)ok;
+    cb(when);
+}
+
+void
+L1Controller::atomicFinish(Tick t, Addr line)
 {
     CacheArray::Line *cur = array.lookup(line);
     if (cur && cur->state == MesiState::Shared) {
         // The atomic merged onto a non-exclusive fill, so other
         // caches may legitimately hold the line Shared; a silent
         // S -> M flip here would break single-writer. Acquire
-        // ownership with a real upgrade transaction first.
+        // ownership with a real upgrade transaction first. The
+        // requester's callback stays in the atomicCb slot.
         if (mshr.outstanding(line)) {
-            mshr.addWaiter(line, [this, line,
-                                  cb = std::move(cb)](Tick ft) mutable {
-                atomicFinish(ft, line, std::move(cb));
+            mshr.addWaiter(line, [this, line](Tick ft) {
+                atomicFinish(ft, line);
             });
             return;
         }
@@ -746,9 +760,8 @@ L1Controller::atomicFinish(Tick t, Addr line, Callback cb)
         scheduleLineDone(done, line, MesiState::Modified, false,
                          CoherenceChecker::Cause::Upgrade,
                          /*completeStoreBuffer=*/false);
-        mshr.addWaiter(line, [this, line,
-                              cb = std::move(cb)](Tick ft) mutable {
-            atomicFinish(ft, line, std::move(cb));
+        mshr.addWaiter(line, [this, line](Tick ft) {
+            atomicFinish(ft, line);
         });
         return;
     }
@@ -760,6 +773,8 @@ L1Controller::atomicFinish(Tick t, Addr line, Callback cb)
     }
     // No frame: filled and already evicted (pathological); just
     // charge the time and proceed.
+    Callback cb = std::move(atomicCb);
+    atomicCb = nullptr;
     cb(t);
 }
 
@@ -785,17 +800,20 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
         // issuing coroutine has not suspended yet); bounce through
         // the event queue.
         Tick done = t + cfg.atomicLatency * cfg.cyclePeriod;
-        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        eq.schedule(done,
+                    [cb = std::move(cb), done]() mutable { cb(done); });
         return;
     }
 
-    // Acquire ownership, then complete.
-    auto finish = [this, line, cb = std::move(cb)](Tick ft) mutable {
-        atomicFinish(ft, line, std::move(cb));
-    };
+    // Acquire ownership, then complete. The callback parks in the
+    // atomicCb member slot (in-order core: at most one outstanding
+    // atomic) so the MSHR waiter captures only [this, line].
+    assert(!atomicCb);
+    atomicCb = std::move(cb);
+    auto finish = [this, line](Tick ft) { atomicFinish(ft, line); };
 
     if (mshr.outstanding(line)) {
-        mshr.addWaiter(line, std::move(finish));
+        mshr.addWaiter(line, finish);
         return;
     }
 
@@ -806,7 +824,7 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
         scheduleLineDone(done, line, MesiState::Modified, false,
                          CoherenceChecker::Cause::Upgrade,
                          /*completeStoreBuffer=*/false);
-        mshr.addWaiter(line, std::move(finish));
+        mshr.addWaiter(line, finish);
         return;
     }
 
@@ -815,7 +833,7 @@ L1Controller::atomic(Tick t, Addr addr, Callback cb)
     scheduleLineDone(result.done, line, MesiState::Modified, false,
                      CoherenceChecker::Cause::Fill,
                      /*completeStoreBuffer=*/false);
-    mshr.addWaiter(line, std::move(finish));
+    mshr.addWaiter(line, finish);
 }
 
 std::string

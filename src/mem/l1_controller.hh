@@ -32,6 +32,7 @@
 #include "mem/l2_cache.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
+#include "sim/callback.hh"
 #include "sim/diagnosable.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -256,7 +257,7 @@ struct L1Config
 class L1Controller : public Diagnosable
 {
   public:
-    using Callback = std::function<void(Tick)>;
+    using Callback = TickCallback;
 
     L1Controller(int core_id, const L1Config &cfg, EventQueue &eq,
                  CoherenceFabric &fabric);
@@ -376,6 +377,10 @@ class L1Controller : public Diagnosable
 
     const L1Counters &counters() const { return stats; }
     const L1Config &config() const { return cfg; }
+
+    /** Host heap allocations on the miss path (0 in steady state). */
+    std::uint64_t missPathHostAllocs() const { return mshr.hostAllocs(); }
+
     const CacheArray &tags() const { return array; }
     int coreId() const { return id; }
 
@@ -417,9 +422,19 @@ class L1Controller : public Diagnosable
     /**
      * Complete an atomic once its line is resident: silently claim
      * M from E/M, or issue a real upgrade when the atomic merged
-     * onto a non-exclusive fill and the line landed Shared.
+     * onto a non-exclusive fill and the line landed Shared. The
+     * requester's callback lives in the `atomicCb` member slot (an
+     * in-order core has at most one atomic in flight), so the MSHR
+     * waiters this chains through capture only [this, line].
      */
-    void atomicFinish(Tick t, Addr line, Callback cb);
+    void atomicFinish(Tick t, Addr line);
+
+    /**
+     * Re-issue the store parked by a full store buffer (`parked` /
+     * `parkedCb` member slots — one per core, since only the owning
+     * in-order core can block on its buffer) once a slot frees.
+     */
+    void retryParkedStore(Tick when);
 
     /** Start a PFS allocate (invalidate-only) transaction. */
     void startPfsAllocate(Tick t, Addr line);
@@ -460,6 +475,25 @@ class L1Controller : public Diagnosable
     CoherenceChecker *checker = nullptr;
     Cycles snoopStallCycles = 0;
     MicroEntry micro;
+
+    /**
+     * Member continuation slots (DESIGN.md §18). The old code nested
+     * the requester's Callback inside the waiter lambdas it parked in
+     * the MSHR / store buffer, which both forced a heap-allocating
+     * callable and re-moved the capture on every hop. An in-order
+     * core has at most one outstanding atomic and can block on at
+     * most one full-buffer store, so each gets a single member slot
+     * and the parked waiters capture only [this] (+ line).
+     */
+    Callback atomicCb;
+    struct ParkedStore
+    {
+        Tick t = 0;
+        Addr addr = 0;
+        bool pfs = false;
+    } parked;
+    Callback parkedCb;
+
     L1Counters stats;
 };
 

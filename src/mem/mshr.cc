@@ -9,12 +9,51 @@
 namespace cmpmem
 {
 
-MshrFile::MshrFile(std::size_t capacity) : cap(capacity) {}
-
-bool
-MshrFile::outstanding(Addr line) const
+namespace
 {
-    return entries.count(line) != 0;
+
+std::size_t
+tableSizeFor(std::size_t capacity)
+{
+    // Keep load factor <= 0.5 so linear probe chains stay short.
+    std::size_t want = std::max<std::size_t>(8, 2 * capacity);
+    std::size_t size = 8;
+    while (size < want)
+        size <<= 1;
+    return size;
+}
+
+unsigned
+log2OfPow2(std::size_t v)
+{
+    unsigned n = 0;
+    while ((std::size_t(1) << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+MshrFile::MshrFile(std::size_t capacity)
+    : cap(capacity), mask(tableSizeFor(capacity) - 1),
+      shift(64 - log2OfPow2(tableSizeFor(capacity))), table(mask + 1)
+{
+    // Warm-up reservation: one node per MSHR plus slack for transient
+    // multi-waiter merges. Growth past this is counted as a host
+    // allocation (should never happen in steady state).
+    pool.reserve(cap + 16);
+}
+
+std::int32_t
+MshrFile::findSlot(Addr line) const
+{
+    std::size_t i = homeIndex(line) & mask;
+    while (table[i].used) {
+        if (table[i].line == line)
+            return std::int32_t(i);
+        i = (i + 1) & mask;
+    }
+    return -1;
 }
 
 void
@@ -22,48 +61,99 @@ MshrFile::allocate(Addr line, bool exclusive)
 {
     assert(!outstanding(line));
     assert(available());
-    entries.emplace(line, Entry{exclusive, {}});
+    std::size_t i = homeIndex(line) & mask;
+    while (table[i].used)
+        i = (i + 1) & mask;
+    table[i].line = line;
+    table[i].used = true;
+    table[i].exclusive = exclusive;
+    table[i].head = table[i].tail = -1;
+    ++count;
     ++numAllocs;
-    peak = std::max<std::uint64_t>(peak, entries.size());
+    peak = std::max<std::uint64_t>(peak, count);
     if (obs)
         obs(true, line);
+}
+
+std::int32_t
+MshrFile::allocNode()
+{
+    if (freeHead >= 0) {
+        std::int32_t idx = freeHead;
+        freeHead = pool[idx].next;
+        pool[idx].next = -1;
+        return idx;
+    }
+    if (pool.size() == pool.capacity())
+        ++hostAllocCount;
+    pool.emplace_back();
+    return std::int32_t(pool.size() - 1);
+}
+
+void
+MshrFile::freeNode(std::int32_t idx)
+{
+    pool[idx].fn = nullptr;
+    pool[idx].next = freeHead;
+    freeHead = idx;
+}
+
+void
+MshrFile::appendWaiter(Slot &s, Waiter waiter)
+{
+    std::int32_t idx = allocNode();
+    pool[idx].fn = std::move(waiter);
+    pool[idx].next = -1;
+    if (s.tail < 0)
+        s.head = idx;
+    else
+        pool[s.tail].next = idx;
+    s.tail = idx;
 }
 
 bool
 MshrFile::merge(Addr line, bool exclusive, Waiter waiter)
 {
-    auto it = entries.find(line);
-    assert(it != entries.end());
-    it->second.waiters.push_back(std::move(waiter));
+    std::int32_t i = findSlot(line);
+    assert(i >= 0);
+    appendWaiter(table[i], std::move(waiter));
     ++numMerges;
-    return !exclusive || it->second.exclusive;
+    return !exclusive || table[i].exclusive;
 }
 
 void
 MshrFile::addWaiter(Addr line, Waiter waiter)
 {
-    auto it = entries.find(line);
-    assert(it != entries.end());
-    it->second.waiters.push_back(std::move(waiter));
+    std::int32_t i = findSlot(line);
+    assert(i >= 0);
+    appendWaiter(table[i], std::move(waiter));
 }
 
 std::string
 MshrFile::diagnose() const
 {
-    std::vector<Addr> pending;
-    pending.reserve(entries.size());
-    for (const auto &kv : entries)
-        pending.push_back(kv.first);
-    std::sort(pending.begin(), pending.end());
+    // diagnose() is cold (watchdog / error paths): sorting and string
+    // building here is fine, it just must never leak onto hot paths.
+    std::vector<std::size_t> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        if (table[i].used)
+            pending.push_back(i);
+    std::sort(pending.begin(), pending.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return table[a].line < table[b].line;
+              });
     std::string out;
-    for (Addr line : pending) {
-        const Entry &e = entries.at(line);
+    for (std::size_t i : pending) {
+        const Slot &s = table[i];
+        std::size_t waiters = 0;
+        for (std::int32_t n = s.head; n >= 0; n = pool[n].next)
+            ++waiters;
         if (!out.empty())
             out += '\n';
         out += strformat("mshr: line 0x%llx %s, %zu waiter(s)",
-                         (unsigned long long)line,
-                         e.exclusive ? "exclusive" : "shared",
-                         e.waiters.size());
+                         (unsigned long long)s.line,
+                         s.exclusive ? "exclusive" : "shared", waiters);
     }
     return out;
 }
@@ -71,16 +161,42 @@ MshrFile::diagnose() const
 void
 MshrFile::complete(Addr line, Tick fill_tick)
 {
-    auto it = entries.find(line);
-    assert(it != entries.end());
-    // Move the waiters out first: a waiter may immediately issue a
-    // new miss to the same line.
-    std::vector<Waiter> waiters = std::move(it->second.waiters);
-    entries.erase(it);
+    std::int32_t si = findSlot(line);
+    assert(si >= 0);
+    // Detach the waiter chain and free the slot first: a waiter may
+    // immediately issue a new miss to the same line.
+    std::int32_t head = table[si].head;
+    // Backward-shift deletion keeps probe chains intact without
+    // tombstones: walk forward from the hole, moving back any entry
+    // whose home position does not lie strictly after the hole.
+    std::size_t j = std::size_t(si);
+    table[j].used = false;
+    table[j].head = table[j].tail = -1;
+    std::size_t k = (j + 1) & mask;
+    while (table[k].used) {
+        std::size_t h = homeIndex(table[k].line) & mask;
+        if (((k - h) & mask) >= ((k - j) & mask)) {
+            table[j] = table[k];
+            table[k].used = false;
+            table[k].head = table[k].tail = -1;
+            j = k;
+        }
+        k = (k + 1) & mask;
+    }
+    --count;
     if (obs)
         obs(false, line);
-    for (auto &w : waiters)
+    // Walk the chain node by node, freeing each *before* invoking it:
+    // the waiter may re-enter (new miss, new waiter) and reuse the
+    // node we just released, so no reference into the pool may be
+    // held across the call.
+    while (head >= 0) {
+        std::int32_t next = pool[head].next;
+        Waiter w = std::move(pool[head].fn);
+        freeNode(head);
+        head = next;
         w(fill_tick);
+    }
 }
 
 } // namespace cmpmem

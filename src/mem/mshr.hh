@@ -8,12 +8,12 @@
 #define CMPMEM_MEM_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/diagnosable.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -26,14 +26,21 @@ namespace cmpmem
  * sufficient MSHRs for the maximum possible number of concurrent
  * misses"; the default capacity is therefore generous, but a limit is
  * enforced and reported for fidelity.
+ *
+ * Host-side layout (DESIGN.md §18): entries live in a fixed-capacity
+ * open-addressed table (linear probing, backward-shift deletion) and
+ * waiters in a pooled free-list of intrusive nodes, so steady-state
+ * allocate/merge/complete churn never touches the heap. `hostAllocs()`
+ * counts the pool growths that *did* hit the allocator (0 after
+ * warm-up).
  */
 class MshrFile : public Diagnosable
 {
   public:
-    using Waiter = std::function<void(Tick fill_tick)>;
+    using Waiter = TickCallback;
 
     /** Passive observer: (allocated, line) on allocate/complete. */
-    using Observer = std::function<void(bool allocated, Addr line)>;
+    using Observer = InlineFunction<void(bool allocated, Addr line), 16>;
 
     explicit MshrFile(std::size_t capacity = 16);
 
@@ -41,10 +48,10 @@ class MshrFile : public Diagnosable
     void setObserver(Observer o) { obs = std::move(o); }
 
     /** Is there already an outstanding fill for this line? */
-    bool outstanding(Addr line) const;
+    bool outstanding(Addr line) const { return findSlot(line) >= 0; }
 
     /** Can a new miss be tracked right now? */
-    bool available() const { return entries.size() < cap; }
+    bool available() const { return count < cap; }
 
     /**
      * Register a primary miss. @pre !outstanding(line) && available().
@@ -69,11 +76,14 @@ class MshrFile : public Diagnosable
      */
     void complete(Addr line, Tick fill_tick);
 
-    std::size_t inFlight() const { return entries.size(); }
+    std::size_t inFlight() const { return count; }
 
     std::uint64_t merges() const { return numMerges; }
     std::uint64_t allocations() const { return numAllocs; }
     std::uint64_t peakOccupancy() const { return peak; }
+
+    /** Host heap allocations past the warm-up reservation. */
+    std::uint64_t hostAllocs() const { return hostAllocCount; }
 
     std::string diagName() const override { return "mshr"; }
 
@@ -81,18 +91,49 @@ class MshrFile : public Diagnosable
     std::string diagnose() const override;
 
   private:
-    struct Entry
+    struct Slot
     {
+        Addr line = 0;
+        bool used = false;
         bool exclusive = false;
-        std::vector<Waiter> waiters;
+        std::int32_t head = -1; ///< first waiter node, -1 if none
+        std::int32_t tail = -1; ///< last waiter node (FIFO append)
     };
 
+    struct WaiterNode
+    {
+        Waiter fn;
+        std::int32_t next = -1;
+    };
+
+    std::size_t homeIndex(Addr line) const
+    {
+        // Fibonacci hashing: cache line numbers are sequential, a
+        // multiplicative mix spreads them across the table.
+        return std::size_t((line * 0x9E3779B97F4A7C15ULL) >> shift);
+    }
+
+    /** Table index of @p line's slot, or -1 if not present. */
+    std::int32_t findSlot(Addr line) const;
+
+    /** Append a waiter to the slot's FIFO chain. */
+    void appendWaiter(Slot &s, Waiter waiter);
+
+    std::int32_t allocNode();
+    void freeNode(std::int32_t idx);
+
     std::size_t cap;
+    std::size_t mask;  ///< table.size() - 1 (power of two)
+    unsigned shift;    ///< 64 - log2(table.size())
     Observer obs;
-    std::unordered_map<Addr, Entry> entries;
+    std::vector<Slot> table;
+    std::size_t count = 0;
+    std::vector<WaiterNode> pool;
+    std::int32_t freeHead = -1;
     std::uint64_t numMerges = 0;
     std::uint64_t numAllocs = 0;
     std::uint64_t peak = 0;
+    std::uint64_t hostAllocCount = 0;
 };
 
 } // namespace cmpmem

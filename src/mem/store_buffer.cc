@@ -1,23 +1,24 @@
 #include "mem/store_buffer.hh"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
-#include <vector>
 
 #include "sim/log.hh"
 
 namespace cmpmem
 {
 
-StoreBuffer::StoreBuffer(std::size_t capacity) : cap(capacity) {}
+StoreBuffer::StoreBuffer(std::size_t capacity) : cap(capacity)
+{
+    lines.reserve(cap);
+}
 
 void
 StoreBuffer::insert(Addr line)
 {
     assert(!full());
     assert(!contains(line));
-    lines.emplace(line, true);
+    lines.push_back(line);
     ++numInserts;
     if (obs)
         obs(true, line);
@@ -26,9 +27,11 @@ StoreBuffer::insert(Addr line)
 void
 StoreBuffer::complete(Addr line, Tick when)
 {
-    auto it = lines.find(line);
+    auto it = std::find(lines.begin(), lines.end(), line);
     assert(it != lines.end());
-    lines.erase(it);
+    // Swap-remove: the set is unordered, diagnose() sorts its copy.
+    *it = lines.back();
+    lines.pop_back();
     if (drainHook)
         drainHook(line);
     if (obs)
@@ -43,10 +46,7 @@ StoreBuffer::complete(Addr line, Tick when)
 std::string
 StoreBuffer::diagnose() const
 {
-    std::vector<Addr> pending;
-    pending.reserve(lines.size());
-    for (const auto &kv : lines)
-        pending.push_back(kv.first);
+    std::vector<Addr> pending(lines.begin(), lines.end());
     std::sort(pending.begin(), pending.end());
     std::string out;
     for (Addr line : pending) {

@@ -9,17 +9,25 @@
  * ownership transaction is in flight; the core only stalls when the
  * buffer is full, and that time is the "Store" component of the
  * paper's execution-time breakdown.
+ *
+ * Host-side layout (DESIGN.md §18): the pending-line set is a flat
+ * vector sized to the (single-digit) capacity at construction —
+ * membership is a linear scan over contiguous Addr words, which beats
+ * any hash map at these sizes, and steady-state insert/complete never
+ * allocates.
  */
 
 #ifndef CMPMEM_MEM_STORE_BUFFER_HH
 #define CMPMEM_MEM_STORE_BUFFER_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/callback.hh"
 #include "sim/diagnosable.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace cmpmem
@@ -28,13 +36,13 @@ namespace cmpmem
 class StoreBuffer : public Diagnosable
 {
   public:
-    using SpaceWaiter = std::function<void(Tick)>;
+    using SpaceWaiter = TickCallback;
 
     /** Passive observer: (inserted, line) on insert/complete. */
-    using Observer = std::function<void(bool inserted, Addr line)>;
+    using Observer = InlineFunction<void(bool inserted, Addr line), 16>;
 
     /** Hook invoked with the line as each entry drains (complete()). */
-    using DrainHook = std::function<void(Addr line)>;
+    using DrainHook = InlineFunction<void(Addr line), 16>;
 
     explicit StoreBuffer(std::size_t capacity = 8);
 
@@ -53,7 +61,10 @@ class StoreBuffer : public Diagnosable
     std::size_t occupancy() const { return lines.size(); }
 
     /** Is a buffered store to this line already pending? */
-    bool contains(Addr line) const { return lines.count(line) != 0; }
+    bool contains(Addr line) const
+    {
+        return std::find(lines.begin(), lines.end(), line) != lines.end();
+    }
 
     /**
      * Park a store to @p line. Stores to a line already pending are
@@ -87,7 +98,7 @@ class StoreBuffer : public Diagnosable
     std::size_t cap;
     Observer obs;
     DrainHook drainHook;
-    std::unordered_map<Addr, bool> lines;
+    std::vector<Addr> lines; ///< pending lines; unordered set semantics
     SpaceWaiter spaceWaiter;
     std::uint64_t numInserts = 0;
     std::uint64_t numFullStalls = 0;

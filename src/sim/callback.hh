@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared completion-callback alias for the miss path.
+ *
+ * Every miss-side structure (MSHR waiters, store-buffer space waiters,
+ * barrier/lock waiters, L1 completion callbacks) hands the requester a
+ * "done at tick T" continuation. They all use one inline-storage
+ * callable so a callback can flow from Context::load through
+ * L1Controller into an MshrFile waiter node without ever touching the
+ * heap.
+ *
+ * Capacity is 24 bytes: the largest capture on the miss path is
+ * [this, done, line, state, prefetched/cause/completeStoreBuffer]
+ * completion lambdas, which L1Controller::scheduleLineDone packs into
+ * 32 bytes *once* on the EventQueue (capacity 48); everything that
+ * lands in a waiter node is [this] or [this, line] (8 or 16 bytes).
+ * With alignas(max_align_t) padding, sizeof(TickCallback) == 32 — two
+ * words smaller than the old std::function plus its heap block.
+ */
+
+#ifndef CMPMEM_SIM_CALLBACK_HH
+#define CMPMEM_SIM_CALLBACK_HH
+
+#include "sim/inline_function.hh"
+#include "sim/types.hh"
+
+namespace cmpmem
+{
+
+/// Miss-completion continuation: invoked with the tick the request
+/// finished. Move-only, no heap fallback — an oversized capture is a
+/// compile error at the offending call site.
+using TickCallback = InlineFunction<void(Tick), 24>;
+
+} // namespace cmpmem
+
+#endif // CMPMEM_SIM_CALLBACK_HH

@@ -39,10 +39,21 @@ class InlineFunction<R(Args...), Capacity>
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
     InlineFunction(F &&f) // NOLINT: implicit like std::function
     {
         emplace(std::forward<F>(f));
+    }
+
+    /** Empty, like std::function: supports `= nullptr` detach idioms. */
+    InlineFunction(std::nullptr_t) {} // NOLINT: implicit like std::function
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
     }
 
     InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }

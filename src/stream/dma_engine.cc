@@ -20,19 +20,28 @@ DmaEngine::DmaEngine(int core_id, const DmaConfig &config,
       cfg(config),
       fabric(coherence_fabric),
       mem(memory),
-      ls(local_store)
+      ls(local_store),
+      inFlight(std::max<std::size_t>(1, config.maxOutstanding), 0),
+      ticketDone(kTicketWindow, 0)
 {
+    // Warm-up reservations (uncounted): typical command shapes stay
+    // within these, so steady-state streaming never allocates.
+    chunkScratch.reserve(256);
+    copyScratch.reserve(4096);
 }
 
 Tick
 DmaEngine::issueSlot(Tick earliest)
 {
     // The engine issues one access per issueOverhead; at most
-    // maxOutstanding accesses are in flight at once.
+    // maxOutstanding accesses are in flight at once (retire the
+    // oldest when the ring is full).
     Tick start = std::max(earliest, engineFree);
-    if (inFlight.size() >= cfg.maxOutstanding) {
-        start = std::max(start, inFlight.front());
-        inFlight.pop_front();
+    if (inFlightCount >= cfg.maxOutstanding) {
+        start = std::max(start, inFlight[inFlightHead]);
+        if (++inFlightHead == inFlight.size())
+            inFlightHead = 0;
+        --inFlightCount;
     }
     engineFree = start + cfg.issueOverhead;
     return start;
@@ -41,8 +50,30 @@ DmaEngine::issueSlot(Tick earliest)
 DmaEngine::Ticket
 DmaEngine::reserveTicket()
 {
-    ticketDone.push_back(0);
-    return Ticket(ticketDone.size() - 1);
+    Ticket tk = ticketNext++;
+    ticketDone[tk % kTicketWindow] = 0;
+    return tk;
+}
+
+void
+DmaEngine::stageChunks(std::size_t n)
+{
+    chunkScratch.clear();
+    if (n > chunkScratch.capacity()) {
+        ++hostAllocCount;
+        chunkScratch.reserve(std::max(n, 2 * chunkScratch.capacity()));
+    }
+}
+
+std::uint8_t *
+DmaEngine::copyBuffer(std::size_t bytes)
+{
+    if (bytes > copyScratch.capacity()) {
+        ++hostAllocCount;
+        copyScratch.reserve(std::max(bytes, 2 * copyScratch.capacity()));
+    }
+    copyScratch.resize(bytes);
+    return copyScratch.data();
 }
 
 std::vector<DmaEngine::Chunk>
@@ -83,6 +114,10 @@ DmaEngine::indexedChunks(const std::vector<Addr> &addrs,
 std::unique_ptr<DmaEngine::Pending>
 DmaEngine::defer(Tick t, bool is_get, std::vector<Chunk> chunks)
 {
+    // The deferred (parallel worker-phase) path allocates its command
+    // snapshot by design: a Pending outlives this call and travels to
+    // the serial replay phase. The zero-allocation contract covers
+    // the immediate single-threaded path (get/put/*Strided/*Indexed).
     auto p = std::make_unique<Pending>();
     p->t = t;
     p->ticket = reserveTicket();
@@ -159,7 +194,9 @@ DmaEngine::executeChunks(Tick t, Ticket ticket,
                 faults->noteDmaRetry();
                 start = comp + faults->dmaBackoff(attempt);
             }
-            inFlight.push_back(comp);
+            inFlight[(inFlightHead + inFlightCount) % inFlight.size()] =
+                comp;
+            ++inFlightCount;
             done = std::max(done, comp);
 
             a += in_line;
@@ -171,21 +208,21 @@ DmaEngine::executeChunks(Tick t, Ticket ticket,
         // deferred put carries its local-store bytes from defer()
         // time — the command's true issue point in program order.
         if (is_get) {
-            std::vector<std::uint8_t> buf(c.bytes);
-            mem.read(c.mem, buf.data(), c.bytes);
-            ls.write(c.lsOff, buf.data(), c.bytes);
+            std::uint8_t *buf = copyBuffer(c.bytes);
+            mem.read(c.mem, buf, c.bytes);
+            ls.write(c.lsOff, buf, c.bytes);
         } else if (put_data) {
             mem.write(c.mem, put_data + put_off, c.bytes);
             put_off += c.bytes;
         } else {
-            std::vector<std::uint8_t> buf(c.bytes);
-            ls.read(c.lsOff, buf.data(), c.bytes);
-            mem.write(c.mem, buf.data(), c.bytes);
+            std::uint8_t *buf = copyBuffer(c.bytes);
+            ls.read(c.lsOff, buf, c.bytes);
+            mem.write(c.mem, buf, c.bytes);
         }
     }
 
     ++stats.commands;
-    ticketDone[ticket] = done;
+    ticketDone[ticket % kTicketWindow] = done;
     lastCompletion = std::max(lastCompletion, done);
     return done;
 }
@@ -195,7 +232,9 @@ DmaEngine::get(Tick t, Addr mem_addr, std::uint32_t ls_off,
                std::uint32_t bytes)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk, seqChunks(mem_addr, ls_off, bytes), true, nullptr);
+    stageChunks(1);
+    chunkScratch.push_back({mem_addr, ls_off, bytes});
+    executeChunks(t, tk, chunkScratch, true, nullptr);
     return tk;
 }
 
@@ -204,7 +243,9 @@ DmaEngine::put(Tick t, Addr mem_addr, std::uint32_t ls_off,
                std::uint32_t bytes)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk, seqChunks(mem_addr, ls_off, bytes), false, nullptr);
+    stageChunks(1);
+    chunkScratch.push_back({mem_addr, ls_off, bytes});
+    executeChunks(t, tk, chunkScratch, false, nullptr);
     return tk;
 }
 
@@ -214,10 +255,12 @@ DmaEngine::getStrided(Tick t, Addr mem_base, std::uint64_t mem_stride,
                       std::uint32_t ls_off)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk,
-                  stridedChunks(mem_base, mem_stride, row_bytes, rows,
-                                ls_off),
-                  true, nullptr);
+    stageChunks(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        chunkScratch.push_back({mem_base + Addr(r) * mem_stride,
+                                ls_off + r * row_bytes, row_bytes});
+    }
+    executeChunks(t, tk, chunkScratch, true, nullptr);
     return tk;
 }
 
@@ -227,10 +270,12 @@ DmaEngine::putStrided(Tick t, Addr mem_base, std::uint64_t mem_stride,
                       std::uint32_t ls_off)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk,
-                  stridedChunks(mem_base, mem_stride, row_bytes, rows,
-                                ls_off),
-                  false, nullptr);
+    stageChunks(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        chunkScratch.push_back({mem_base + Addr(r) * mem_stride,
+                                ls_off + r * row_bytes, row_bytes});
+    }
+    executeChunks(t, tk, chunkScratch, false, nullptr);
     return tk;
 }
 
@@ -239,8 +284,13 @@ DmaEngine::getIndexed(Tick t, const std::vector<Addr> &addrs,
                       std::uint32_t elem_bytes, std::uint32_t ls_off)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk, indexedChunks(addrs, elem_bytes, ls_off), true,
-                  nullptr);
+    stageChunks(addrs.size());
+    std::uint32_t off = ls_off;
+    for (Addr a : addrs) {
+        chunkScratch.push_back({a, off, elem_bytes});
+        off += elem_bytes;
+    }
+    executeChunks(t, tk, chunkScratch, true, nullptr);
     return tk;
 }
 
@@ -249,16 +299,29 @@ DmaEngine::putIndexed(Tick t, const std::vector<Addr> &addrs,
                       std::uint32_t elem_bytes, std::uint32_t ls_off)
 {
     Ticket tk = reserveTicket();
-    executeChunks(t, tk, indexedChunks(addrs, elem_bytes, ls_off), false,
-                  nullptr);
+    stageChunks(addrs.size());
+    std::uint32_t off = ls_off;
+    for (Addr a : addrs) {
+        chunkScratch.push_back({a, off, elem_bytes});
+        off += elem_bytes;
+    }
+    executeChunks(t, tk, chunkScratch, false, nullptr);
     return tk;
 }
 
 Tick
 DmaEngine::completionTick(Ticket ticket) const
 {
-    assert(ticket < ticketDone.size());
-    return ticketDone[ticket];
+    assert(ticket < ticketNext);
+    if (ticket + kTicketWindow <= ticketNext) {
+        throwSimError(SimErrorKind::Model,
+                      "DMA ticket %llu on core %d expired (completion "
+                      "ring holds the most recent %zu tickets; newest "
+                      "is %llu)",
+                      (unsigned long long)ticket, coreId, kTicketWindow,
+                      (unsigned long long)(ticketNext - 1));
+    }
+    return ticketDone[ticket % kTicketWindow];
 }
 
 std::string
@@ -274,13 +337,13 @@ DmaEngine::diagnose() const
         "commands=%llu accesses=%llu, in flight=%zu, engine free at "
         "tick %llu, last completion tick %llu",
         (unsigned long long)stats.commands,
-        (unsigned long long)stats.accesses, inFlight.size(),
+        (unsigned long long)stats.accesses, inFlightCount,
         (unsigned long long)engineFree,
         (unsigned long long)lastCompletion);
-    if (!inFlight.empty()) {
+    if (inFlightCount > 0) {
         out += strformat(
             "\noldest outstanding access completes at tick %llu",
-            (unsigned long long)inFlight.front());
+            (unsigned long long)inFlight[inFlightHead]);
     }
     return out;
 }

@@ -21,8 +21,6 @@
 #define CMPMEM_STREAM_DMA_ENGINE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -107,13 +105,26 @@ class DmaEngine : public Diagnosable
     Ticket putIndexed(Tick t, const std::vector<Addr> &addrs,
                       std::uint32_t elem_bytes, std::uint32_t ls_off);
 
-    /** Completion tick of @p ticket. @pre ticket was returned here. */
+    /**
+     * Completion tick of @p ticket. @pre ticket was returned here.
+     * Completion slots live in a fixed ring of the most recent
+     * kTicketWindow tickets; querying an older (expired) ticket
+     * raises SimErrorKind::Model. Every workload waits on tickets
+     * from the current double-buffer generation, so the window is
+     * orders of magnitude deeper than any legal wait.
+     */
     Tick completionTick(Ticket ticket) const;
 
     /** Completion tick of everything issued so far. */
     Tick allDoneTick() const { return lastCompletion; }
 
     const DmaCounters &counters() const { return stats; }
+
+    /** Host heap allocations past the warm-up reservations. */
+    std::uint64_t hostAllocs() const { return hostAllocCount; }
+
+    /** Completion-ring depth (see completionTick()). */
+    static constexpr std::size_t kTicketWindow = 4096;
 
     /** One contiguous piece of a transfer's memory-side footprint. */
     struct Chunk
@@ -180,6 +191,15 @@ class DmaEngine : public Diagnosable
 
     Tick issueSlot(Tick earliest);
 
+    /**
+     * Clear the chunk scratch list and make room for @p n chunks;
+     * growth past the warm-up reservation counts a host allocation.
+     */
+    void stageChunks(std::size_t n);
+
+    /** Reusable functional-copy bounce buffer of @p bytes. */
+    std::uint8_t *copyBuffer(std::size_t bytes);
+
     int coreId;
     DmaConfig cfg;
     CoherenceFabric &fabric;
@@ -190,10 +210,25 @@ class DmaEngine : public Diagnosable
     /** Engine command processor availability. */
     Tick engineFree = 0;
 
-    /** Ring of the most recent access-completion ticks. */
-    std::deque<Tick> inFlight;
+    /**
+     * FIFO ring of the most recent access-completion ticks, sized to
+     * maxOutstanding (an access is only retired — popped — when the
+     * ring is full and a new slot is needed, so occupancy never
+     * exceeds the window).
+     */
+    std::vector<Tick> inFlight;
+    std::size_t inFlightHead = 0;
+    std::size_t inFlightCount = 0;
 
+    /** Completion ring indexed by ticket % kTicketWindow. */
     std::vector<Tick> ticketDone;
+    Ticket ticketNext = 0;
+
+    /** Reusable command staging for the immediate (non-defer) path. */
+    std::vector<Chunk> chunkScratch;
+    std::vector<std::uint8_t> copyScratch;
+    std::uint64_t hostAllocCount = 0;
+
     Tick lastCompletion = 0;
     DmaCounters stats;
 };

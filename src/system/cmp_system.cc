@@ -244,6 +244,7 @@ CmpSystem::collectStats() const
         rs.l1Total.prefetchesIssued += c.prefetchesIssued;
         rs.l1Total.prefetchesUseful += c.prefetchesUseful;
         rs.l1Total.fastpathHits += c.fastpathHits;
+        rs.missPathAllocs += l1->missPathHostAllocs();
     }
 
     for (const auto &ls : lsVec) {
@@ -254,6 +255,7 @@ CmpSystem::collectStats() const
         rs.dmaAccesses += dma->counters().accesses;
         rs.dmaBytesRead += dma->counters().bytesRead;
         rs.dmaBytesWritten += dma->counters().bytesWritten;
+        rs.missPathAllocs += dma->hostAllocs();
     }
 
     rs.fabric = fab->counters();

@@ -105,6 +105,14 @@ struct RunStats
     double hostBarrierWaitSeconds = 0;
     std::vector<std::uint64_t> hostShardEvents;
 
+    /**
+     * Miss-path host allocations (DESIGN.md §18): heap allocations
+     * taken by MSHR waiter pools and DMA scratch buffers past their
+     * warm-up reservations, summed over all cores. Host-side only
+     * (never enters toStatSet()); 0 in steady state.
+     */
+    std::uint64_t missPathAllocs = 0;
+
     double execSeconds() const
     {
         return double(execTicks) / double(ticksPerSec);

@@ -343,6 +343,50 @@ TEST(Mshr, CapacityTracking)
     EXPECT_EQ(m.peakOccupancy(), 2u);
 }
 
+TEST(Mshr, CapacityPressureChurnStaysAllocationFree)
+{
+    // Sustained full-occupancy churn across many distinct line
+    // addresses: slot and waiter-node reuse must never touch the
+    // heap past the construction-time reservation (DESIGN.md §18).
+    MshrFile m(8);
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 2000; ++round) {
+        Addr base = Addr(round) * 0x1000;
+        for (int s = 0; s < 8; ++s)
+            m.allocate(base + Addr(s) * 0x40, (s & 1) != 0);
+        EXPECT_FALSE(m.available());
+        for (int s = 0; s < 8; ++s)
+            for (int w = 0; w < 3; ++w)
+                m.addWaiter(base + Addr(s) * 0x40,
+                            [&fired](Tick) { ++fired; });
+        // Complete in reverse allocation order: backward-shift
+        // deletion must keep the open-addressed probe chains intact.
+        for (int s = 7; s >= 0; --s)
+            m.complete(base + Addr(s) * 0x40, Tick(round));
+        EXPECT_TRUE(m.available());
+    }
+    EXPECT_EQ(fired, 2000u * 8 * 3);
+    EXPECT_EQ(m.inFlight(), 0u);
+    EXPECT_EQ(m.hostAllocs(), 0u);
+}
+
+TEST(Mshr, WaitersFireInFifoOrderAcrossPoolReuse)
+{
+    MshrFile m(2);
+    std::vector<int> order;
+    for (int round = 0; round < 3; ++round) {
+        order.clear();
+        m.allocate(0x100, true);
+        for (int i = 0; i < 4; ++i)
+            m.addWaiter(0x100,
+                        [&order, i](Tick) { order.push_back(i); });
+        m.complete(0x100, 5);
+        // Recycled free-list nodes must not perturb FIFO wake-up.
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    }
+    EXPECT_EQ(m.hostAllocs(), 0u);
+}
+
 //
 // StoreBuffer.
 //

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
@@ -451,6 +452,69 @@ TEST(InlineFunction, ArgumentsAndReturnValues)
 {
     InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
     EXPECT_EQ(add(2, 3), 5);
+}
+
+//
+// TickCallback (the capacity-24 miss-path waiter type, DESIGN.md §18):
+// the same contract as the event callback above, at the tighter
+// capture budget the MSHR/store-buffer/sync waiters live under.
+//
+
+TEST(TickCallback, InvokesMovesAndDetaches)
+{
+    Tick seen = 0;
+    TickCallback f([&seen](Tick t) { seen = t; });
+    EXPECT_TRUE(static_cast<bool>(f));
+    f(41);
+    EXPECT_EQ(seen, 41u);
+
+    TickCallback g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f)); // moved-from is empty
+    g(42);
+    EXPECT_EQ(seen, 42u);
+
+    TickCallback h;
+    EXPECT_FALSE(static_cast<bool>(h));
+    h = std::move(g);
+    h(43);
+    EXPECT_EQ(seen, 43u);
+    // `= nullptr` detach, the idiom the L1 member slots rely on.
+    h = nullptr;
+    EXPECT_FALSE(static_cast<bool>(h));
+    TickCallback k(nullptr);
+    EXPECT_FALSE(static_cast<bool>(k));
+}
+
+TEST(TickCallback, DestroysCaptureExactlyOnce)
+{
+    struct Probe
+    {
+        int *ctor, *dtor;
+        Probe(int *c, int *d) : ctor(c), dtor(d) { ++*ctor; }
+        Probe(Probe &&o) noexcept : ctor(o.ctor), dtor(o.dtor)
+        {
+            ++*ctor;
+        }
+        ~Probe() { ++*dtor; }
+        void operator()(Tick) const {}
+    };
+    int ctor = 0, dtor = 0;
+    {
+        TickCallback f(Probe(&ctor, &dtor));
+        TickCallback g(std::move(f)); // relocate
+        g(7);
+    }
+    EXPECT_GE(ctor, 2);     // original + at least one relocate
+    EXPECT_EQ(ctor, dtor);  // every construction destroyed exactly once
+}
+
+TEST(TickCallback, ArgumentsReachTheCapture)
+{
+    std::uint64_t sum = 0;
+    TickCallback acc([&sum](Tick t) { sum += t; });
+    acc(10);
+    acc(32);
+    EXPECT_EQ(sum, 42u);
 }
 
 TEST(Clock, PeriodsMatchTable2Frequencies)
